@@ -1,0 +1,28 @@
+"""Benchmark fixtures: paper-sized settings with pre-built traces.
+
+The per-figure benchmarks time the *simulation* of each figure, not
+workload generation, so the shared traces are built once here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import Settings, clear_trace_cache, get_trace
+
+#: Paper-run settings used by the benchmark harness.
+SETTINGS = Settings.paper()
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return SETTINGS
+
+
+@pytest.fixture(scope="session")
+def warmed_traces(settings):
+    """Build both traces up front so figure benches time simulation."""
+    uni = get_trace(1, settings)
+    mp = get_trace(8, settings)
+    yield uni, mp
+    clear_trace_cache()

@@ -1,0 +1,49 @@
+"""Benchmarks for the ablation studies (extensions beyond the paper)."""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import (
+    cmp_study,
+    latency_sensitivity,
+    scaling_study,
+    tlb_study,
+    victim_buffer_study,
+)
+
+
+def once(benchmark, fn):
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def test_bench_ablation_victim_buffer(benchmark, settings, warmed_traces):
+    study = once(benchmark, lambda: victim_buffer_study(settings))
+    by_label = dict(study.rows)
+    assert by_label["2M1w +VB16"].misses.total < by_label["2M1w"].misses.total
+    assert by_label["2M8w"].misses.total < by_label["2M1w +VB64"].misses.total
+
+
+def test_bench_ablation_cmp(benchmark, settings):
+    study = once(benchmark, lambda: cmp_study(settings))
+    flat, dual = study.rows[0][1], study.rows[1][1]
+    assert abs(dual.cycles_per_txn / flat.cycles_per_txn - 1.0) < 0.2
+
+
+def test_bench_ablation_latency_sensitivity(benchmark, settings, warmed_traces):
+    def run():
+        return latency_sensitivity(settings, 8), latency_sensitivity(settings, 1)
+
+    mp, uni = once(benchmark, run)
+    assert dict(mp.deltas)["remote_dirty"] > dict(mp.deltas)["local"]
+    assert dict(uni.deltas)["l2_hit"] > dict(uni.deltas)["local"]
+
+
+def test_bench_ablation_scaling(benchmark):
+    study = once(benchmark, lambda: scaling_study(scales=(64, 48), txns=200))
+    assert all(speedup > 1.2 for _, speedup, _ in study.rows)
+    assert all(ratio < 1.0 for _, _, ratio in study.rows)
+
+
+def test_bench_ablation_tlb_reach(benchmark, settings, warmed_traces):
+    study = once(benchmark, lambda: tlb_study(settings))
+    slowdowns = {entries: s for entries, s, _ in study.rows}
+    assert slowdowns[64] > slowdowns[256] >= slowdowns[1024] >= 1.0

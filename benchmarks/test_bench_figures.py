@@ -1,0 +1,90 @@
+"""Benchmark harness: regenerate every paper figure at paper settings.
+
+Each benchmark runs its figure driver once (``pedantic`` with a single
+round — these are minutes-scale simulations, not microbenchmarks) and
+then asserts the figure's headline shape, so a benchmark run doubles
+as a full reproduction check.  Figure 3 is the static latency table.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig3_latencies, integration, offchip, onchip, rac
+from repro.experiments import ooo as ooo_experiment
+
+
+def once(benchmark, fn):
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def test_bench_fig3_latency_table(benchmark):
+    table = once(benchmark, fig3_latencies.render)
+    assert "Conservative Base" in table
+    ratios = fig3_latencies.reduction_ratios()
+    assert round(ratios["l2_hit"], 2) == 1.67
+    assert round(ratios["remote_dirty"], 2) == 1.38
+
+
+def test_bench_fig5_offchip_uniprocessor(benchmark, settings, warmed_traces):
+    fig = once(benchmark, lambda: offchip.run(1, settings))
+    assert fig.row("2M4w").miss_norm < fig.row("8M1w").miss_norm
+    assert fig.row("8M4w").miss_norm < 10
+    for s in (1, 2, 4, 8):
+        assert fig.row(f"{s}M4w").miss_norm < fig.row(f"{s}M1w").miss_norm
+
+
+def test_bench_fig6_offchip_multiprocessor(benchmark, settings, warmed_traces):
+    fig = once(benchmark, lambda: offchip.run(8, settings))
+    assert fig.row("8M4w").result.misses.dirty_share > 0.5
+    assert (
+        fig.row("8M4w").result.misses.d_remote_dirty
+        > fig.row("1M1w").result.misses.d_remote_dirty
+    )
+    assert fig.row("Cons 8M4w").time_norm > fig.row("8M4w").time_norm
+
+
+def test_bench_fig7_onchip_uniprocessor(benchmark, settings, warmed_traces):
+    fig = once(benchmark, lambda: onchip.run(1, settings))
+    assert fig.speedup("2M8w") > 1.3
+    assert fig.row("2M8w").miss_norm < 100
+    assert fig.row("1M8w").miss_norm > 100
+    assert fig.row("8M8w DRAM").time_norm > fig.row("2M8w").time_norm
+
+
+def test_bench_fig8_onchip_multiprocessor(benchmark, settings, warmed_traces):
+    fig = once(benchmark, lambda: onchip.run(8, settings))
+    gain = fig.speedup("2M8w")
+    assert 1.05 < gain < 1.6
+    assert fig.row("8M8w DRAM").miss_norm == min(r.miss_norm for r in fig.rows)
+
+
+def test_bench_fig10_integration_ladder(benchmark, settings, warmed_traces):
+    study = once(benchmark, lambda: integration.run(settings))
+    assert 1.25 < study.uni_full_speedup < 1.8
+    assert 1.3 < study.mp_full_speedup < 1.8
+    assert 1.4 < study.conservative_speedup < 1.8
+    assert abs(study.uni.speedup("L2+MC", over="L2") - 1.0) < 0.08
+
+
+def test_bench_fig11_rac_miss_mix(benchmark, settings, warmed_traces):
+    study = once(benchmark, lambda: rac.run_miss_study(settings))
+    assert study.rac_no_repl.misses.total == study.no_rac_no_repl.misses.total
+    assert study.hit_rate_no_repl > study.hit_rate_repl
+    assert (
+        study.rac_no_repl.misses.d_remote_dirty
+        > study.no_rac_no_repl.misses.d_remote_dirty
+    )
+
+
+def test_bench_fig12_rac_performance(benchmark, settings, warmed_traces):
+    fig = once(benchmark, lambda: rac.run_perf_study(settings))
+    assert fig.row("1M4w RAC").time_norm < 100  # small gain...
+    assert fig.row("1.25M4w NoRAC").time_norm < fig.row("1M4w RAC").time_norm
+    assert abs(fig.speedup("2M8w RAC", over="2M8w NoRAC") - 1.0) < 0.05
+
+
+def test_bench_fig13_out_of_order(benchmark, settings, warmed_traces):
+    study = once(benchmark, lambda: ooo_experiment.run(settings))
+    assert 1.2 < study.uni_ooo_gain < 1.8
+    assert 1.1 < study.mp_ooo_gain < 1.6
+    ratios = study.step_ratios()
+    assert abs(ratios["mp"]["All ooo"] / ratios["mp"]["All in-order"] - 1) < 0.15

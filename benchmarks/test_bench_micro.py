@@ -1,0 +1,99 @@
+"""Microbenchmarks for the simulator's performance-critical components.
+
+These track the throughput of the substrate itself (cache operations,
+protocol transactions, engine transactions, trace generation, replay),
+so regressions in simulator speed are visible independently of the
+figure-level benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.coherence.homemap import HomeMap
+from repro.coherence.protocol import DirectoryProtocol
+from repro.core.machine import MachineConfig
+from repro.core.system import simulate
+from repro.memsys.cache import SetAssocCache
+from repro.memsys.hierarchy import NodeCaches
+from repro.oltp.config import WorkloadConfig
+from repro.oltp.engine import OracleEngine
+from repro.trace.generator import build_trace
+
+
+def test_bench_cache_access_throughput(benchmark):
+    rng = random.Random(1)
+    lines = [rng.randrange(4096) for _ in range(20_000)]
+    writes = [rng.random() < 0.3 for _ in range(20_000)]
+
+    def run():
+        cache = SetAssocCache(64 * 1024, 4)
+        access = cache.access
+        for line, write in zip(lines, writes):
+            access(line, write)
+        return cache.hits
+
+    hits = benchmark(run)
+    assert hits > 0
+
+
+def test_bench_protocol_throughput(benchmark):
+    rng = random.Random(2)
+    ops = [(rng.randrange(4), rng.randrange(512), rng.random() < 0.4)
+           for _ in range(5_000)]
+
+    def run():
+        nodes = [NodeCaches(16 * 1024, 2, l1_size=1024, l1_assoc=2, node_id=i)
+                 for i in range(4)]
+        protocol = DirectoryProtocol(HomeMap(4, 256), nodes)
+        for node, line, write in ops:
+            result = nodes[node].access(line, write, False)
+            if result.victim is not None:
+                protocol.handle_eviction(node, result.victim, result.victim_dirty)
+            if result.level.value == "miss":
+                protocol.service_miss(node, line, write, False)
+        return protocol.interventions
+
+    benchmark(run)
+
+
+def test_bench_engine_transaction_rate(benchmark):
+    def run():
+        config = WorkloadConfig.build(ncpus=1, scale=64, seed=5)
+        engine = OracleEngine(config)
+        engine.prewarm()
+        engine.run(200)
+        return engine.stats.committed
+
+    committed = benchmark(run)
+    assert committed == 200
+
+
+def test_bench_trace_generation(benchmark):
+    def run():
+        return build_trace(ncpus=1, scale=64, txns=100, warmup_txns=50, seed=5)
+
+    trace = benchmark(run)
+    assert trace.total_refs > 0
+
+
+def test_bench_replay_throughput(benchmark):
+    trace = build_trace(ncpus=1, scale=64, txns=150, warmup_txns=50, seed=5)
+    machine = MachineConfig.base(1, scale=64)
+
+    def run():
+        return simulate(machine, trace)
+
+    result = benchmark(run)
+    assert result.misses.total > 0
+
+
+def test_bench_mp_replay_throughput(benchmark):
+    trace = build_trace(ncpus=8, scale=64, txns=300, warmup_txns=150, seed=5)
+    machine = MachineConfig.fully_integrated(8, scale=64)
+
+    def run():
+        return simulate(machine, trace)
+
+    result = benchmark(run)
+    assert result.misses.remote > 0

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Walk the integration ladder: Base -> +L2 -> +MC -> +CC/NR.
+
+Reproduces the core of the paper's Figure 10 on both a uniprocessor
+and an 8-node multiprocessor, printing ASCII stacked bars of the
+normalized execution-time breakdown at each integration level.
+
+Run:  python examples/integration_ladder.py [--scale N]
+"""
+
+import argparse
+
+from repro.experiments.common import Settings
+from repro.experiments.integration import run
+from repro.experiments.report import bar_chart
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=48,
+                        help="scale-down factor (smaller = slower, more faithful)")
+    args = parser.parse_args()
+    settings = Settings(scale=args.scale, uni_txns=300, mp_txns=800, seed=21)
+
+    print("Simulating the integration ladder (this takes ~30s)...\n")
+    study = run(settings)
+
+    print(bar_chart(study.uni))
+    print()
+    print(bar_chart(study.mp))
+    print()
+    print(f"uniprocessor full-integration speedup : {study.uni_full_speedup:.2f}x")
+    print(f"8-CPU full-integration speedup        : {study.mp_full_speedup:.2f}x")
+    print(f"  - from integrating the L2            : {study.mp_l2_step:.2f}x")
+    print(f"  - from integrating MC + CC/NR        : {study.mp_system_step:.2f}x")
+    print(f"8-CPU speedup vs Conservative Base    : {study.conservative_speedup:.2f}x")
+    print()
+    print("Paper: ~1.4x total for both machine sizes; the MP gain splits")
+    print("roughly evenly between the L2 step and the system-logic step,")
+    print("and reaches 1.56x against the conservative off-chip design.")
+
+
+if __name__ == "__main__":
+    main()

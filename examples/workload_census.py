@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Dissect the OLTP workload: which structure generates which traffic?
+
+Builds a trace, prints the per-region reference census (who is read,
+written, instruction-fetched), then attributes L2 misses per region
+for two cache organizations — making visible *why* the 8 MB
+direct-mapped cache loses to the 2 MB 8-way one: the big cache's
+misses are conflict misses on code and private server memory, while
+the small associative cache's misses are the irreducible random
+account traffic.
+
+Run:  python examples/workload_census.py
+"""
+
+from repro import MachineConfig, build_trace
+from repro.trace.census import attribute_misses, census
+
+
+def main() -> None:
+    print("Generating uniprocessor TPC-B trace...")
+    trace = build_trace(ncpus=1, txns=400, scale=32, seed=7)
+
+    print()
+    print(census(trace).render())
+
+    for machine in (
+        MachineConfig.base(1, scale=32),                      # 8M1w off-chip
+        MachineConfig.integrated_l2(1, scale=32),             # 2M8w on-chip
+    ):
+        print()
+        print(attribute_misses(trace, machine).render())
+
+    print()
+    print("Reading: the direct-mapped cache keeps missing on hot text and")
+    print("PGA lines (conflicts); the associative cache's residue is the")
+    print("random account/index traffic no cache can hold.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .
+--no-use-pep517`) in offline environments that lack the `wheel`
+package required by PEP 660 editable builds.  All real metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro — reproduction of Barroso et al., "Impact of Chip-Level
+Integration on Performance of OLTP Workloads" (HPCA 2000).
+
+Public API quickstart::
+
+    from repro import MachineConfig, build_trace, simulate
+
+    trace = build_trace(ncpus=1, txns=500)
+    base = simulate(MachineConfig.base(), trace)
+    soc = simulate(MachineConfig.integrated_l2(), trace)
+    print(soc.speedup_over(base))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.core.machine import MachineConfig, cache_label
+from repro.core.results import RunResult
+from repro.core.system import System, simulate
+from repro.params import (
+    IntegrationLevel,
+    L2Technology,
+    LatencyTable,
+    MissKind,
+    latencies,
+)
+from repro.trace.generator import OltpTrace, build_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "cache_label",
+    "RunResult",
+    "System",
+    "simulate",
+    "IntegrationLevel",
+    "L2Technology",
+    "LatencyTable",
+    "MissKind",
+    "latencies",
+    "OltpTrace",
+    "build_trace",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Coherence substrate: home map, directory, protocol, interconnect."""
+
+from repro.coherence.directory import DirectoryState
+from repro.coherence.homemap import HomeMap
+from repro.coherence.network import InterconnectModel, MessageCounters
+from repro.coherence.protocol import DirectoryProtocol, ServiceOutcome
+
+__all__ = [
+    "DirectoryState",
+    "HomeMap",
+    "InterconnectModel",
+    "MessageCounters",
+    "DirectoryProtocol",
+    "ServiceOutcome",
+]

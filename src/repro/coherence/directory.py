@@ -1,0 +1,100 @@
+"""Full-map directory state, one entry per actively cached line.
+
+The directory is the paper's on-(or off-)chip coherence-controller
+state: for every line it knows which nodes hold copies and whether one
+of them owns it exclusively.  Entries are kept sparsely in dicts keyed
+by line number — untouched lines are implicitly Unowned — which lets
+the simulator cover an arbitrarily large physical address space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set
+
+
+class DirectoryState:
+    """Presence and ownership bookkeeping for all cached lines.
+
+    Invariants (checked by the test suite):
+
+    * a line has at most one owner;
+    * an owned line's owner is also in its sharer set;
+    * sharer sets are never empty (empty sets are deleted).
+    """
+
+    __slots__ = ("_sharers", "_owner")
+
+    def __init__(self) -> None:
+        self._sharers: Dict[int, Set[int]] = {}
+        self._owner: Dict[int, int] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    def owner(self, line: int) -> Optional[int]:
+        """The exclusive owner of ``line``, or None."""
+        return self._owner.get(line)
+
+    def sharers(self, line: int) -> FrozenSet[int]:
+        """All nodes currently holding ``line`` (including any owner)."""
+        return frozenset(self._sharers.get(line, ()))
+
+    def is_cached(self, line: int) -> bool:
+        return line in self._sharers
+
+    def is_cached_by(self, line: int, node: int) -> bool:
+        s = self._sharers.get(line)
+        return s is not None and node in s
+
+    def tracked_lines(self) -> int:
+        """Number of lines with at least one cached copy (diagnostics)."""
+        return len(self._sharers)
+
+    # -- transitions -------------------------------------------------------
+
+    def add_sharer(self, line: int, node: int) -> None:
+        """Record a clean copy at ``node`` (read fill)."""
+        self._sharers.setdefault(line, set()).add(node)
+
+    def set_owner(self, line: int, node: int) -> None:
+        """Make ``node`` the exclusive owner (write fill or upgrade)."""
+        self._sharers[line] = {node}
+        self._owner[line] = node
+
+    def clear_owner(self, line: int) -> None:
+        """Demote the owner to a plain sharer (read intervention)."""
+        self._owner.pop(line, None)
+
+    def remove_node(self, line: int, node: int) -> None:
+        """Drop ``node``'s copy (eviction or invalidation ack)."""
+        s = self._sharers.get(line)
+        if s is None:
+            return
+        s.discard(node)
+        if not s:
+            del self._sharers[line]
+        if self._owner.get(line) == node:
+            del self._owner[line]
+
+    def invalidate_others(self, line: int, keeper: int) -> int:
+        """Invalidate every copy except ``keeper``'s; returns count removed."""
+        s = self._sharers.get(line)
+        if s is None:
+            return 0
+        removed = len(s) - (1 if keeper in s else 0)
+        self._sharers[line] = {keeper} if keeper in s else set()
+        if not self._sharers[line]:
+            del self._sharers[line]
+        owner = self._owner.get(line)
+        if owner is not None and owner != keeper:
+            del self._owner[line]
+        return removed
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError when internal invariants are violated."""
+        for line, owner in self._owner.items():
+            assert line in self._sharers, f"owned line {line:#x} has no sharers"
+            assert owner in self._sharers[line], (
+                f"owner {owner} of line {line:#x} not in sharer set"
+            )
+        for line, s in self._sharers.items():
+            assert s, f"line {line:#x} has an empty sharer set"

@@ -1,0 +1,61 @@
+"""Home-node assignment for physical pages.
+
+The paper's ccNUMA machine distributes memory across the 8 nodes.  OLTP
+data defies placement, so pages land round-robin and the chance of a
+line being local is ~1-in-8 (Section 3).  Instruction pages can be
+*replicated* by the OS at every node (Section 6), which makes every
+instruction fetch local; we model replication as a per-line predicate
+that overrides the home with the requesting node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.params import LINE_SHIFT, PAGE_SIZE
+
+
+class HomeMap:
+    """Maps line numbers to home nodes, with optional code replication.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of memory nodes (1 for a uniprocessor).
+    page_bytes:
+        Granularity of home assignment.  Scaled runs shrink this along
+        with the footprints so the round-robin distribution is kept.
+    replicated:
+        Optional predicate over line numbers; lines for which it returns
+        True (instruction pages under OS replication) are homed at the
+        requesting node.
+    """
+
+    __slots__ = ("num_nodes", "_page_lines_shift", "replicated")
+
+    def __init__(
+        self,
+        num_nodes: int,
+        page_bytes: int = PAGE_SIZE,
+        replicated: Optional[Callable[[int], bool]] = None,
+    ):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if page_bytes < (1 << LINE_SHIFT):
+            raise ValueError("page must be at least one line")
+        page_lines = page_bytes >> LINE_SHIFT
+        if page_lines & (page_lines - 1):
+            raise ValueError("page_bytes must hold a power-of-two line count")
+        self.num_nodes = num_nodes
+        self._page_lines_shift = page_lines.bit_length() - 1
+        self.replicated = replicated
+
+    def home_of(self, line: int, requester: int = 0) -> int:
+        """Home node of ``line`` as seen from ``requester``."""
+        if self.replicated is not None and self.replicated(line):
+            return requester
+        return (line >> self._page_lines_shift) % self.num_nodes
+
+    def is_local(self, line: int, node: int) -> bool:
+        """True when ``line``'s home (for ``node``) is ``node`` itself."""
+        return self.home_of(line, node) == node

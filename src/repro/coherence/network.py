@@ -1,0 +1,72 @@
+"""Interconnect latency model.
+
+The paper folds router, link, and controller-crossing delays into the
+per-class latencies of Figure 3, and we do the same: this module maps
+a protocol :class:`~repro.coherence.protocol.ServiceOutcome` to the
+cycles the requesting processor stalls, given the active integration
+level's latency table.  It also keeps message counters so experiments
+can report traffic (e.g. the paper's invalidation-rate observation in
+Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.coherence.protocol import ServiceOutcome
+from repro.params import (
+    RAC_HIT_LATENCY,
+    RAC_REMOTE_DIRTY_LATENCY,
+    LatencyTable,
+    MissKind,
+)
+
+
+@dataclass
+class MessageCounters:
+    """Coarse interconnect traffic counters (requests, not flits)."""
+
+    requests_2hop: int = 0
+    requests_3hop: int = 0
+    invalidations: int = 0
+    local_requests: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "local": self.local_requests,
+            "2hop": self.requests_2hop,
+            "3hop": self.requests_3hop,
+            "invalidations": self.invalidations,
+        }
+
+
+@dataclass
+class InterconnectModel:
+    """Latency assignment for serviced misses under one configuration."""
+
+    table: LatencyTable
+    counters: MessageCounters = field(default_factory=MessageCounters)
+
+    def service_latency(self, outcome: ServiceOutcome) -> int:
+        """Stall cycles the requester pays for this serviced miss."""
+        self.counters.invalidations += outcome.invalidations
+        kind = outcome.kind
+        if kind is MissKind.LOCAL:
+            self.counters.local_requests += 1
+            if outcome.via_rac:
+                # RAC hits respond at local-memory speed by construction
+                # (the RAC data lives in local memory; Section 6).
+                return RAC_HIT_LATENCY
+            return self.table.local
+        if kind is MissKind.REMOTE_CLEAN:
+            self.counters.requests_2hop += 1
+            if outcome.upgrade:
+                return self.table.remote_upgrade
+            return self.table.remote_clean
+        self.counters.requests_3hop += 1
+        if outcome.from_remote_rac:
+            # Dirty data served out of a remote node's RAC is slower
+            # than out of its L2 (250 vs 200 ns; Section 6).
+            extra = RAC_REMOTE_DIRTY_LATENCY - 200
+            return self.table.remote_dirty + extra
+        return self.table.remote_dirty

@@ -1,0 +1,7 @@
+"""Top-level simulator: machine configs, the replay loop, results."""
+
+from repro.core.machine import MachineConfig, cache_label
+from repro.core.results import RunResult
+from repro.core.system import System, simulate
+
+__all__ = ["MachineConfig", "cache_label", "RunResult", "System", "simulate"]

@@ -1,0 +1,252 @@
+"""Machine configurations for every design point the paper studies.
+
+A :class:`MachineConfig` captures one bar of one figure: processor
+count, integration level, L2 geometry and technology, optional remote
+access cache, optional OS code replication, and the CPU model.  Sizes
+are given in *logical* (paper) bytes; the simulator scales them down
+by the workload's scale factor (DESIGN.md Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.params import (
+    BASE_L2_ASSOC,
+    BASE_L2_SIZE,
+    KB,
+    L1_ASSOC,
+    L1_SIZE,
+    LINE_SIZE,
+    MB,
+    IntegrationLevel,
+    L2Technology,
+    LatencyTable,
+    latencies,
+)
+
+
+def _size_label(size: int) -> str:
+    if size % MB == 0:
+        return f"{size // MB}M"
+    if size * 4 % MB == 0:
+        return f"{size / MB:g}M"
+    return f"{size // KB}K"
+
+
+def cache_label(size: int, assoc: int) -> str:
+    """Paper-style shorthand, e.g. ``2M8w`` for 2 MB 8-way."""
+    return f"{_size_label(size)}{assoc}w"
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """One simulated machine design point."""
+
+    label: str
+    ncpus: int = 1
+    integration: IntegrationLevel = IntegrationLevel.BASE
+    l2_size: int = BASE_L2_SIZE
+    l2_assoc: int = BASE_L2_ASSOC
+    l2_technology: L2Technology = L2Technology.OFF_CHIP_SRAM
+    cpu_model: str = "inorder"
+    rac_size: Optional[int] = None
+    rac_assoc: int = 8
+    replicate_code: bool = False
+    cores_per_node: int = 1
+    victim_entries: int = 0
+    #: Unified TLB entries per core; 0 models a perfect TLB (the
+    #: paper's figures fold MMU behaviour into the base CPI).
+    tlb_entries: int = 0
+    scale: int = 32
+    #: Ablation hook: replaces the Figure-3 table when set.
+    latency_override: Optional[LatencyTable] = None
+
+    def __post_init__(self):
+        if self.ncpus <= 0:
+            raise ValueError("ncpus must be positive")
+        if self.l2_size <= 0 or self.l2_assoc <= 0:
+            raise ValueError("L2 geometry must be positive")
+        if self.cpu_model not in ("inorder", "ooo"):
+            raise ValueError(f"unknown cpu_model {self.cpu_model!r}")
+        if self.integration.l2_on_chip and self.l2_technology is L2Technology.OFF_CHIP_SRAM:
+            raise ValueError("integrated L2 must use on-chip SRAM or DRAM")
+        if not self.integration.l2_on_chip and self.l2_technology is not L2Technology.OFF_CHIP_SRAM:
+            raise ValueError("off-chip L2 must use off-chip SRAM")
+        if self.cores_per_node <= 0:
+            raise ValueError("cores_per_node must be positive")
+        if self.ncpus % self.cores_per_node:
+            raise ValueError("ncpus must be a multiple of cores_per_node")
+        if self.cores_per_node > 1 and not self.integration.l2_on_chip:
+            raise ValueError("chip multiprocessing requires an on-chip L2")
+        if self.victim_entries < 0:
+            raise ValueError("victim_entries must be non-negative")
+        if self.tlb_entries < 0:
+            raise ValueError("tlb_entries must be non-negative")
+        if self.rac_size is not None and self.num_nodes == 1:
+            raise ValueError("a RAC only makes sense in a multiprocessor")
+
+    @property
+    def num_nodes(self) -> int:
+        """Coherence nodes (chips); equals ncpus unless CMP is enabled."""
+        return self.ncpus // self.cores_per_node
+
+    # -- derived parameters -----------------------------------------------------
+
+    @property
+    def latencies(self) -> LatencyTable:
+        if self.latency_override is not None:
+            return self.latency_override
+        return latencies(
+            self.integration,
+            l2_assoc=self.l2_assoc,
+            l2_technology=self.l2_technology,
+        )
+
+    def _scaled_cache(self, size: int, assoc: int) -> int:
+        """Scale a capacity down, keeping it a valid multiple of ways."""
+        unit = assoc * LINE_SIZE
+        scaled = max(unit, size // self.scale)
+        return (scaled // unit) * unit
+
+    @property
+    def scaled_l2_size(self) -> int:
+        return self._scaled_cache(self.l2_size, self.l2_assoc)
+
+    #: L1 capacities are floor-dominated at small scaled sizes (a 2 KB
+    #: 2-way cache is 16 sets), which understates L1 effectiveness and
+    #: overstates L2-hit traffic.  Scaling the L1 by scale/2 restores
+    #: the paper's hot-footprint-to-L1 ratio; DESIGN.md Section 6.
+    L1_SCALE_RELIEF = 2
+
+    @property
+    def scaled_l1_size(self) -> int:
+        unit = L1_ASSOC * LINE_SIZE
+        scaled = max(unit, L1_SIZE * self.L1_SCALE_RELIEF // self.scale)
+        return (scaled // unit) * unit
+
+    @property
+    def scaled_rac_size(self) -> Optional[int]:
+        if self.rac_size is None:
+            return None
+        return self._scaled_cache(self.rac_size, self.rac_assoc)
+
+    def with_(self, **changes) -> "MachineConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # -- factories for the paper's named configurations ----------------------------
+
+    @classmethod
+    def conservative_base(cls, ncpus: int = 1, *, l2_size: int = BASE_L2_SIZE,
+                          l2_assoc: int = 4, scale: int = 32,
+                          cpu_model: str = "inorder") -> "MachineConfig":
+        """'Conservative Base': off-chip everything, unoptimized latencies."""
+        return cls(
+            label=f"Cons {cache_label(l2_size, l2_assoc)}",
+            ncpus=ncpus,
+            integration=IntegrationLevel.CONSERVATIVE_BASE,
+            l2_size=l2_size,
+            l2_assoc=l2_assoc,
+            scale=scale,
+            cpu_model=cpu_model,
+        )
+
+    @classmethod
+    def base(cls, ncpus: int = 1, *, l2_size: int = BASE_L2_SIZE,
+             l2_assoc: int = BASE_L2_ASSOC, scale: int = 32,
+             cpu_model: str = "inorder") -> "MachineConfig":
+        """'Base': aggressive off-chip design (Figure 2 defaults)."""
+        return cls(
+            label=f"Base {cache_label(l2_size, l2_assoc)}",
+            ncpus=ncpus,
+            integration=IntegrationLevel.BASE,
+            l2_size=l2_size,
+            l2_assoc=l2_assoc,
+            scale=scale,
+            cpu_model=cpu_model,
+        )
+
+    @classmethod
+    def integrated_l2(cls, ncpus: int = 1, *, l2_size: int = 2 * MB,
+                      l2_assoc: int = 8,
+                      technology: L2Technology = L2Technology.ON_CHIP_SRAM,
+                      scale: int = 32, cpu_model: str = "inorder") -> "MachineConfig":
+        """On-chip L2 (SRAM ~2 MB or embedded DRAM ~8 MB), MC/CC off-chip."""
+        return cls(
+            label=f"L2 {cache_label(l2_size, l2_assoc)} {technology.value}",
+            ncpus=ncpus,
+            integration=IntegrationLevel.L2,
+            l2_size=l2_size,
+            l2_assoc=l2_assoc,
+            l2_technology=technology,
+            scale=scale,
+            cpu_model=cpu_model,
+        )
+
+    @classmethod
+    def integrated_l2_mc(cls, ncpus: int = 1, *, l2_size: int = 2 * MB,
+                         l2_assoc: int = 8, scale: int = 32,
+                         cpu_model: str = "inorder") -> "MachineConfig":
+        """On-chip L2 + memory controller; CC/NR still off-chip."""
+        return cls(
+            label=f"L2+MC {cache_label(l2_size, l2_assoc)}",
+            ncpus=ncpus,
+            integration=IntegrationLevel.L2_MC,
+            l2_size=l2_size,
+            l2_assoc=l2_assoc,
+            l2_technology=L2Technology.ON_CHIP_SRAM,
+            scale=scale,
+            cpu_model=cpu_model,
+        )
+
+    @classmethod
+    def fully_integrated(cls, ncpus: int = 1, *, l2_size: int = 2 * MB,
+                         l2_assoc: int = 8, rac_size: Optional[int] = None,
+                         replicate_code: bool = False, scale: int = 32,
+                         cpu_model: str = "inorder", victim_entries: int = 0,
+                         ) -> "MachineConfig":
+        """Alpha 21364-style full integration (L2 + MC + CC/NR on chip)."""
+        return cls(
+            label=f"All {cache_label(l2_size, l2_assoc)}"
+            + (" +RAC" if rac_size else "")
+            + (f" +VB{victim_entries}" if victim_entries else ""),
+            ncpus=ncpus,
+            integration=IntegrationLevel.FULL,
+            l2_size=l2_size,
+            l2_assoc=l2_assoc,
+            l2_technology=L2Technology.ON_CHIP_SRAM,
+            rac_size=rac_size,
+            replicate_code=replicate_code,
+            victim_entries=victim_entries,
+            scale=scale,
+            cpu_model=cpu_model,
+        )
+
+    @classmethod
+    def chip_multiprocessor(cls, num_nodes: int = 8, *, cores_per_node: int = 2,
+                            l2_size: int = 2 * MB, l2_assoc: int = 8,
+                            scale: int = 32,
+                            cpu_model: str = "inorder") -> "MachineConfig":
+        """Fully integrated CMP: several cores share each on-chip L2.
+
+        The paper's Section 8 points to chip multiprocessing as the
+        next step after integration ("the next logical step seems to
+        be to tolerate the remaining latencies by exploiting ...
+        thread-level parallelism ... through techniques such as chip
+        multiprocessing").  This configuration models it: the machine
+        keeps ``num_nodes`` coherence nodes, each now carrying
+        ``cores_per_node`` cores over the shared L2.
+        """
+        return cls(
+            label=f"CMP{cores_per_node}x{num_nodes} {cache_label(l2_size, l2_assoc)}",
+            ncpus=num_nodes * cores_per_node,
+            integration=IntegrationLevel.FULL,
+            l2_size=l2_size,
+            l2_assoc=l2_assoc,
+            l2_technology=L2Technology.ON_CHIP_SRAM,
+            cores_per_node=cores_per_node,
+            scale=scale,
+            cpu_model=cpu_model,
+        )

@@ -1,0 +1,87 @@
+"""Run results: everything a paper figure needs from one simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.coherence.network import MessageCounters
+from repro.core.machine import MachineConfig
+from repro.stats.breakdown import (
+    ExecutionBreakdown,
+    L1Stats,
+    MissBreakdown,
+    ProtocolStats,
+    RacStats,
+)
+
+
+@dataclass
+class RunResult:
+    """Measured statistics for one (machine, trace) simulation.
+
+    ``breakdown`` sums cycles over all CPUs; ``exec_time`` divides by
+    the CPU count, giving the per-processor execution time the paper's
+    normalized bars are built from (the workload is symmetric, so this
+    equals wall-clock time for the fixed transaction count).
+    """
+
+    machine: MachineConfig
+    breakdown: ExecutionBreakdown
+    per_cpu: List[ExecutionBreakdown]
+    misses: MissBreakdown
+    l1: L1Stats
+    protocol: ProtocolStats
+    rac: RacStats
+    network: MessageCounters = field(default_factory=MessageCounters)
+    measured_txns: int = 0
+    #: Software TLB fills (0 when the machine models a perfect TLB).
+    tlb_misses: int = 0
+
+    @property
+    def label(self) -> str:
+        return self.machine.label
+
+    @property
+    def exec_time(self) -> float:
+        """Average per-CPU non-idle execution time in cycles."""
+        return self.breakdown.total / max(1, len(self.per_cpu))
+
+    @property
+    def cycles_per_txn(self) -> float:
+        """System-level cost of one transaction (lower is better)."""
+        if not self.measured_txns:
+            return 0.0
+        return self.breakdown.total / self.measured_txns
+
+    @property
+    def l2_misses(self) -> int:
+        return self.misses.total
+
+    @property
+    def cpu_utilization(self) -> float:
+        return self.breakdown.cpu_utilization
+
+    @property
+    def kernel_fraction(self) -> float:
+        """Kernel share of busy time (paper: ~25 % of execution)."""
+        if not self.breakdown.busy:
+            return 0.0
+        return self.breakdown.kernel_busy / self.breakdown.busy
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """How much faster this run is than ``other`` (paper's 'X times')."""
+        if self.exec_time <= 0:
+            raise ValueError("cannot compute speedup for a zero-time run")
+        return other.exec_time / self.exec_time
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        b = self.breakdown
+        total = b.total or 1.0
+        return (
+            f"{self.label}: {self.cycles_per_txn:,.0f} cyc/txn | "
+            f"CPU {100 * b.busy / total:.0f}% L2Hit {100 * b.l2_hit / total:.0f}% "
+            f"Loc {100 * b.local_stall / total:.0f}% Rem {100 * b.remote_stall / total:.0f}% | "
+            f"L2 misses {self.misses.total:,} (3-hop {100 * self.misses.dirty_share:.0f}%)"
+        )

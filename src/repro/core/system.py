@@ -1,0 +1,481 @@
+"""The system simulator: replays a trace against one machine config.
+
+This is the reproduction's equivalent of SimOS-Alpha's memory-system
+timing loop.  For every packed reference in the trace it walks the
+node's L1/L2 hierarchy, invokes the directory protocol on L2 misses
+and ownership upgrades, charges the configuration's Figure-3 latencies
+through the CPU timing model, and accumulates the paper's statistics.
+
+Two replay loops implement identical semantics:
+
+* ``_run_fast`` — the common case (one core per node, no victim
+  buffer).  It deliberately reaches into the cache objects' internal
+  set lists: at millions of references per run, per-access object
+  allocation would dominate.
+* ``_run_general`` — the extended configurations (chip multiprocessing,
+  victim buffers) via the clean :class:`~repro.memsys.hierarchy.NodeCaches`
+  API.
+
+The test suite cross-checks the two against an independent reference
+implementation (``tests/core/test_reference_model.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.coherence.homemap import HomeMap
+from repro.coherence.network import InterconnectModel
+from repro.coherence.protocol import DirectoryProtocol
+from repro.core.machine import MachineConfig
+from repro.core.results import RunResult
+from repro.cpu.events import (
+    STALL_LOCAL,
+    STALL_REMOTE_CLEAN,
+    STALL_REMOTE_DIRTY,
+)
+from repro.cpu.inorder import InOrderCPU
+from repro.cpu.ooo import OutOfOrderCPU
+from repro.memsys.hierarchy import HierarchyLevel, NodeCaches
+from repro.memsys.rac import RemoteAccessCache
+from repro.params import (
+    INSTRS_PER_ILINE,
+    L1_ASSOC,
+    TLB_WALK_CYCLES,
+    VICTIM_HIT_EXTRA,
+    MissKind,
+)
+from repro.stats.breakdown import (
+    ExecutionBreakdown,
+    L1Stats,
+    MissBreakdown,
+    ProtocolStats,
+    RacStats,
+)
+
+_KIND_TO_STALL = {
+    MissKind.LOCAL: STALL_LOCAL,
+    MissKind.REMOTE_CLEAN: STALL_REMOTE_CLEAN,
+    MissKind.REMOTE_DIRTY: STALL_REMOTE_DIRTY,
+}
+
+
+class System:
+    """A single-use simulator instance for one machine configuration.
+
+    ``force_general`` routes even plain configurations through the
+    general loop; the two loops implement identical semantics and the
+    test suite verifies it using this switch.
+    """
+
+    def __init__(self, machine: MachineConfig, force_general: bool = False):
+        self.machine = machine
+        self.force_general = force_general
+        self.nodes: List[NodeCaches] = [
+            NodeCaches(
+                machine.scaled_l2_size,
+                machine.l2_assoc,
+                l1_size=machine.scaled_l1_size,
+                l1_assoc=L1_ASSOC,
+                num_cores=machine.cores_per_node,
+                victim_entries=machine.victim_entries,
+                node_id=i,
+            )
+            for i in range(machine.num_nodes)
+        ]
+        cpu_cls = OutOfOrderCPU if machine.cpu_model == "ooo" else InOrderCPU
+        self.cpus = [cpu_cls(i) for i in range(machine.ncpus)]
+        self.racs: Optional[List[RemoteAccessCache]] = None
+        if machine.scaled_rac_size is not None:
+            self.racs = [
+                RemoteAccessCache(machine.scaled_rac_size, machine.rac_assoc, node_id=i)
+                for i in range(machine.num_nodes)
+            ]
+        self.misses = MissBreakdown()
+        self.l1 = L1Stats()
+        self.l2_hits = 0
+        self.victim_hits = 0
+        self.tlb_misses = 0
+        self.writes = 0
+        self._ran = False
+
+    # -- measurement reset at the warmup boundary --------------------------------
+
+    def _reset_measurement(self, protocol: DirectoryProtocol,
+                           net: InterconnectModel) -> None:
+        self.misses = MissBreakdown()
+        self.l1 = L1Stats()
+        self.l2_hits = 0
+        self.victim_hits = 0
+        self.tlb_misses = 0
+        self.writes = 0
+        for cpu in self.cpus:
+            cpu.reset()
+        for node in self.nodes:
+            node.reset_stats()
+        if self.racs is not None:
+            for rac in self.racs:
+                rac.hits = 0
+                rac.probes = 0
+        protocol.upgrades = 0
+        protocol.invalidations = 0
+        protocol.writebacks = 0
+        protocol.interventions = 0
+        net.counters.__init__()
+
+    # -- public entry ---------------------------------------------------------------
+
+    def run(self, trace) -> RunResult:
+        """Replay ``trace`` and return the measured statistics."""
+        machine = self.machine
+        if trace.ncpus != machine.ncpus:
+            raise ValueError(
+                f"trace was generated for {trace.ncpus} CPUs, "
+                f"machine has {machine.ncpus}"
+            )
+        if self._ran:
+            raise RuntimeError("System instances are single-use; build a new one")
+        self._ran = True
+
+        replicated = None
+        if machine.replicate_code:
+            text_pages = trace.text_pages
+            page_lines_shift = (trace.page_bytes // 64).bit_length() - 1
+            replicated = lambda line: (line >> page_lines_shift) in text_pages  # noqa: E731
+        homemap = HomeMap(machine.num_nodes, trace.page_bytes, replicated)
+        protocol = DirectoryProtocol(homemap, self.nodes, self.racs)
+        net = InterconnectModel(machine.latencies)
+
+        if (machine.cores_per_node > 1 or machine.victim_entries
+                or machine.tlb_entries or self.force_general):
+            self._run_general(trace, protocol, net)
+        else:
+            self._run_fast(trace, protocol, net)
+
+        for cpu in self.cpus:
+            cpu.drain()
+        return self._collect(trace, protocol, net)
+
+    # -- the optimized common-case loop ------------------------------------------------
+
+    def _run_fast(self, trace, protocol: DirectoryProtocol,
+                  net: InterconnectModel) -> None:
+        machine = self.machine
+        lat_l2hit = machine.latencies.l2_hit
+        mp = machine.num_nodes > 1
+        ooo = machine.cpu_model == "ooo"
+        owner_get = protocol.directory._owner.get
+        service_miss = protocol.service_miss
+        ensure_owner = protocol.ensure_owner
+        handle_eviction = protocol.handle_eviction
+        service_latency = net.service_latency
+        record_miss = self.misses.record
+        kind_to_stall = _KIND_TO_STALL
+        l2_assoc = machine.l2_assoc
+        warmup_end = trace.warmup_quanta
+
+        nodes = self.nodes
+        cpus = self.cpus
+        # Run-long counters kept as plain ints for speed.
+        i_refs = i_miss = d_refs = d_miss = l2hits = writes = 0
+
+        for qi, quantum in enumerate(trace.quanta):
+            if qi == warmup_end:
+                self._flush_counters(i_refs, i_miss, d_refs, d_miss, l2hits, writes)
+                self._reset_measurement(protocol, net)
+                i_refs = i_miss = d_refs = d_miss = l2hits = writes = 0
+                record_miss = self.misses.record
+
+            cpu_id = quantum.cpu
+            node = nodes[cpu_id]
+            cpu = cpus[cpu_id]
+            stall = cpu.stall
+            busy = cpu.busy
+            l1i = node.l1i
+            l1d = node.l1d
+            l2 = node.l2
+            l1i_sets = l1i._sets
+            l1i_n = l1i.num_sets
+            l1i_assoc = l1i.assoc
+            l1d_sets = l1d._sets
+            l1d_n = l1d.num_sets
+            l1d_assoc = l1d.assoc
+            l2_sets = l2._sets
+            l2_n = l2.num_sets
+            l2_dirty = l2._dirty
+            q_instr = 0
+            q_kinstr = 0
+
+            for ref in quantum.refs:
+                flags = ref & 15
+                line = ref >> 4
+                if flags & 2:  # instruction fetch
+                    i_refs += 1
+                    q_instr += 1
+                    if flags & 4:
+                        q_kinstr += 1
+                    if ooo:
+                        busy(INSTRS_PER_ILINE, flags & 4)
+                    sets = l1i_sets
+                    ways = sets[line % l1i_n]
+                    if line in ways:
+                        if ways[0] != line:
+                            ways.remove(line)
+                            ways.insert(0, line)
+                        continue
+                    i_miss += 1
+                    l1_assoc_here = l1i_assoc
+                else:
+                    d_refs += 1
+                    write = flags & 1
+                    if write:
+                        writes += 1
+                    sets = l1d_sets
+                    ways = sets[line % l1d_n]
+                    if line in ways:
+                        if ways[0] != line:
+                            ways.remove(line)
+                            ways.insert(0, line)
+                        if write:
+                            l2_dirty[line % l2_n].add(line)
+                            if mp and owner_get(line) != cpu_id:
+                                outcome = ensure_owner(cpu_id, line)
+                                if outcome is not None:
+                                    stall(
+                                        service_latency(outcome),
+                                        kind_to_stall[outcome.kind],
+                                        flags & 8,
+                                        False,
+                                    )
+                        continue
+                    d_miss += 1
+                    l1_assoc_here = l1d_assoc
+
+                # ---- L1 miss: probe the L2 --------------------------------
+                write = flags & 1
+                is_instr = flags & 2
+                idx2 = line % l2_n
+                ways2 = l2_sets[idx2]
+                if line in ways2:
+                    l2hits += 1
+                    if ways2[0] != line:
+                        ways2.remove(line)
+                        ways2.insert(0, line)
+                    if write:
+                        l2_dirty[idx2].add(line)
+                        if mp and owner_get(line) != cpu_id:
+                            outcome = ensure_owner(cpu_id, line)
+                            if outcome is not None:
+                                stall(
+                                    service_latency(outcome),
+                                    kind_to_stall[outcome.kind],
+                                    flags & 8,
+                                    False,
+                                )
+                    stall(lat_l2hit, 0, flags & 8, is_instr)
+                else:
+                    # ---- L2 miss: fill, evict, consult the protocol --------
+                    if len(ways2) >= l2_assoc:
+                        victim = ways2.pop()
+                        vdirty_set = l2_dirty[idx2]
+                        if victim in vdirty_set:
+                            vdirty_set.remove(victim)
+                            vdirty = True
+                        else:
+                            vdirty = False
+                        # Inclusion: purge the victim from the L1s.
+                        vways = l1i_sets[victim % l1i_n]
+                        if victim in vways:
+                            vways.remove(victim)
+                        vways = l1d_sets[victim % l1d_n]
+                        if victim in vways:
+                            vways.remove(victim)
+                        handle_eviction(cpu_id, victim, vdirty)
+                    ways2.insert(0, line)
+                    if write:
+                        l2_dirty[idx2].add(line)
+                    outcome = service_miss(cpu_id, line, bool(write), bool(is_instr))
+                    stall(
+                        service_latency(outcome),
+                        kind_to_stall[outcome.kind],
+                        flags & 8,
+                        is_instr,
+                    )
+                    record_miss(outcome.kind, bool(is_instr))
+
+                # ---- fill the L1 (clean; dirtiness lives at the L2) ---------
+                if len(ways) >= l1_assoc_here:
+                    ways.pop()
+                ways.insert(0, line)
+
+            if not ooo and q_instr:
+                busy(q_instr * INSTRS_PER_ILINE, False)
+                if q_kinstr:
+                    cpu.kernel_busy_cycles += q_kinstr * INSTRS_PER_ILINE
+
+        self._flush_counters(i_refs, i_miss, d_refs, d_miss, l2hits, writes)
+
+    # -- the general loop (CMP / victim buffers) -----------------------------------------
+
+    def _run_general(self, trace, protocol: DirectoryProtocol,
+                     net: InterconnectModel) -> None:
+        machine = self.machine
+        lat_l2hit = machine.latencies.l2_hit
+        lat_victim = lat_l2hit + VICTIM_HIT_EXTRA
+        cores = machine.cores_per_node
+        mp = machine.num_nodes > 1
+        ooo = machine.cpu_model == "ooo"
+        warmup_end = trace.warmup_quanta
+        owner_get = protocol.directory._owner.get
+        kind_to_stall = _KIND_TO_STALL
+        i_refs = i_miss = d_refs = d_miss = l2hits = victimhits = writes = 0
+        # Per-core software-filled TLBs (LRU over physical pages).
+        tlb_entries = machine.tlb_entries
+        page_shift = (trace.page_bytes // 64).bit_length() - 1
+        from collections import OrderedDict
+        tlbs = [OrderedDict() for _ in range(machine.ncpus)] if tlb_entries else None
+        tlb_miss_count = 0
+
+        for qi, quantum in enumerate(trace.quanta):
+            if qi == warmup_end:
+                self._flush_counters(
+                    i_refs, i_miss, d_refs, d_miss, l2hits, writes, victimhits
+                )
+                self._reset_measurement(protocol, net)
+                i_refs = i_miss = d_refs = d_miss = l2hits = victimhits = writes = 0
+
+            cpu_id = quantum.cpu
+            node_id = cpu_id // cores
+            core = cpu_id % cores
+            node = self.nodes[node_id]
+            cpu = self.cpus[cpu_id]
+            tlb = tlbs[cpu_id] if tlbs is not None else None
+            q_instr = 0
+            q_kinstr = 0
+
+            for ref in quantum.refs:
+                flags = ref & 15
+                line = ref >> 4
+                write = bool(flags & 1)
+                is_instr = bool(flags & 2)
+                if tlb is not None:
+                    page = line >> page_shift
+                    if page in tlb:
+                        tlb.move_to_end(page)
+                    else:
+                        # Software fill: PALcode instructions execute,
+                        # charged as kernel busy time.
+                        tlb_miss_count += 1
+                        cpu.busy(TLB_WALK_CYCLES, True)
+                        tlb[page] = True
+                        if len(tlb) > tlb_entries:
+                            tlb.popitem(last=False)
+                if is_instr:
+                    i_refs += 1
+                    q_instr += 1
+                    if flags & 4:
+                        q_kinstr += 1
+                    if ooo:
+                        cpu.busy(INSTRS_PER_ILINE, flags & 4)
+                else:
+                    d_refs += 1
+                    if write:
+                        writes += 1
+
+                result = node.access(line, write, is_instr, core)
+                level = result.level
+                if result.victim is not None:
+                    protocol.handle_eviction(node_id, result.victim, result.victim_dirty)
+
+                if level is HierarchyLevel.MISS:
+                    if is_instr:
+                        i_miss += 1
+                    else:
+                        d_miss += 1
+                    outcome = protocol.service_miss(node_id, line, write, is_instr)
+                    cpu.stall(
+                        net.service_latency(outcome),
+                        kind_to_stall[outcome.kind],
+                        flags & 8,
+                        is_instr,
+                    )
+                    self.misses.record(outcome.kind, is_instr)
+                    continue
+
+                if level is not HierarchyLevel.L1:
+                    if is_instr:
+                        i_miss += 1
+                    else:
+                        d_miss += 1
+                    if level is HierarchyLevel.L2:
+                        l2hits += 1
+                        cpu.stall(lat_l2hit, 0, flags & 8, is_instr)
+                    else:
+                        victimhits += 1
+                        cpu.stall(lat_victim, 0, flags & 8, is_instr)
+                if write and mp and owner_get(line) != node_id:
+                    outcome = protocol.ensure_owner(node_id, line)
+                    if outcome is not None:
+                        cpu.stall(
+                            net.service_latency(outcome),
+                            kind_to_stall[outcome.kind],
+                            flags & 8,
+                            False,
+                        )
+
+            if not ooo and q_instr:
+                cpu.busy(q_instr * INSTRS_PER_ILINE, False)
+                if q_kinstr:
+                    cpu.kernel_busy_cycles += q_kinstr * INSTRS_PER_ILINE
+
+        self._flush_counters(
+            i_refs, i_miss, d_refs, d_miss, l2hits, writes, victimhits
+        )
+        self.tlb_misses += tlb_miss_count
+
+    # -- result assembly -----------------------------------------------------------------
+
+    def _flush_counters(self, i_refs, i_miss, d_refs, d_miss, l2hits, writes,
+                        victimhits=0) -> None:
+        self.l1.i_refs += i_refs
+        self.l1.i_misses += i_miss
+        self.l1.d_refs += d_refs
+        self.l1.d_misses += d_miss
+        self.l2_hits += l2hits
+        self.victim_hits += victimhits
+        self.writes += writes
+
+    def _collect(self, trace, protocol: DirectoryProtocol,
+                 net: InterconnectModel) -> RunResult:
+        per_cpu = [cpu.breakdown() for cpu in self.cpus]
+        total = ExecutionBreakdown()
+        for b in per_cpu:
+            total.add(b)
+        protocol_stats = ProtocolStats(
+            upgrades=protocol.upgrades,
+            invalidations=protocol.invalidations,
+            writebacks=protocol.writebacks,
+            interventions=protocol.interventions,
+            writes=self.writes,
+        )
+        rac_stats = RacStats()
+        if self.racs is not None:
+            rac_stats.probes = sum(r.probes for r in self.racs)
+            rac_stats.hits = sum(r.hits for r in self.racs)
+        return RunResult(
+            machine=self.machine,
+            breakdown=total,
+            per_cpu=per_cpu,
+            misses=self.misses,
+            l1=self.l1,
+            protocol=protocol_stats,
+            rac=rac_stats,
+            network=net.counters,
+            measured_txns=getattr(trace, "measured_txns", 0),
+            tlb_misses=self.tlb_misses,
+        )
+
+
+def simulate(machine: MachineConfig, trace) -> RunResult:
+    """Convenience wrapper: build a System, replay ``trace``, return stats."""
+    return System(machine).run(trace)

@@ -1,0 +1,67 @@
+"""Single-issue in-order processor timing model.
+
+This is the equivalent of SimOS-Alpha's medium-speed processor module
+that the paper uses for most of its results (Section 2.2): one
+instruction per cycle when not stalled, with every L1 miss stalling
+the pipeline for the full service latency.  The memory system is
+sequentially consistent, so stores stall exactly like loads.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.events import NUM_STALL_CLASSES
+from repro.stats.breakdown import ExecutionBreakdown
+
+
+class InOrderCPU:
+    """Accumulates busy and per-class stall cycles for one processor."""
+
+    MODEL_NAME = "in-order"
+
+    __slots__ = ("cpu_id", "busy_cycles", "kernel_busy_cycles", "stall_cycles")
+
+    def __init__(self, cpu_id: int = 0):
+        self.cpu_id = cpu_id
+        self.busy_cycles = 0
+        self.kernel_busy_cycles = 0
+        self.stall_cycles = [0] * NUM_STALL_CLASSES
+
+    def busy(self, cycles: int, kernel: bool) -> None:
+        """Execute ``cycles`` worth of instructions without stalling."""
+        self.busy_cycles += cycles
+        if kernel:
+            self.kernel_busy_cycles += cycles
+
+    def stall(self, cycles: int, klass: int, dependent: bool = False,
+              is_instr: bool = False) -> None:
+        """Block the pipeline for a miss of stall class ``klass``.
+
+        ``dependent``/``is_instr`` are accepted for interface parity
+        with the out-of-order model; an in-order core stalls fully
+        either way.
+        """
+        self.stall_cycles[klass] += cycles
+
+    @property
+    def now(self) -> int:
+        """Total elapsed cycles for this processor."""
+        return self.busy_cycles + sum(self.stall_cycles)
+
+    def drain(self) -> None:
+        """Finish outstanding work (no-op for a blocking pipeline)."""
+
+    def reset(self) -> None:
+        self.busy_cycles = 0
+        self.kernel_busy_cycles = 0
+        self.stall_cycles = [0] * NUM_STALL_CLASSES
+
+    def breakdown(self) -> ExecutionBreakdown:
+        s = self.stall_cycles
+        return ExecutionBreakdown(
+            busy=self.busy_cycles,
+            kernel_busy=self.kernel_busy_cycles,
+            l2_hit=s[0],
+            local_stall=s[1],
+            remote_clean_stall=s[2],
+            remote_dirty_stall=s[3],
+        )

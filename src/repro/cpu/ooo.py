@@ -1,0 +1,149 @@
+"""Four-wide out-of-order processor timing model (paper Section 7).
+
+The paper's OOO configuration: 4-wide issue, four integer units, two
+load/store units, 64-entry instruction window.  Its headline findings
+are (a) ~1.4x (uni) / ~1.3x (MP) absolute gain over the in-order core,
+driven by latency hiding rather than issue width, and (b) *identical
+relative* benefits from chip-level integration.
+
+We model the window with a latency-overlap queue rather than a full
+pipeline: the core can slide up to ``window_cycles`` of execution past
+an outstanding data miss before the window fills and it stalls, a
+limited number of misses (MSHRs) can be outstanding at once, and a
+load flagged *dependent* (pointer chase) cannot issue until the
+previous miss returns — which is why OLTP, with its chains of
+dependent memory operations, gains far less than SPEC-style codes.
+Instruction-fetch misses stall the front end for a fixed fraction
+of their latency (fetch-ahead hides the rest).
+"""
+
+from __future__ import annotations
+
+from repro.cpu.events import NUM_STALL_CLASSES
+from repro.stats.breakdown import ExecutionBreakdown
+
+
+class OutOfOrderCPU:
+    """Windowed latency-overlap timing model for one processor."""
+
+    MODEL_NAME = "out-of-order"
+
+    #: A 64-entry window retiring OLTP's limited ILP gives roughly this
+    #: much slack past an outstanding data miss before the ROB fills.
+    WINDOW_CYCLES = 24
+
+    #: Outstanding-miss limit (MSHRs / load-store queue depth).
+    MSHRS = 8
+
+    #: Fraction of I-side miss latency hidden by the fetch buffer,
+    #: branch prediction and fetch-ahead.  Proportional (not
+    #: subtractive) hiding keeps the *relative* cost of different
+    #: memory systems unchanged — which is exactly the paper's
+    #: Section-7 finding about integration gains under OOO.
+    FRONTEND_HIDE = 0.30
+
+    #: Busy-time speedup of 4-wide issue on OLTP's limited ILP.  The
+    #: paper (citing Ranganathan et al.) finds OLTP "does not benefit
+    #: from extremely wide issue"; most of the gain is latency hiding.
+    ISSUE_SPEEDUP = 1.45
+
+    __slots__ = (
+        "cpu_id",
+        "busy_cycles",
+        "kernel_busy_cycles",
+        "stall_cycles",
+        "_now",
+        "_outstanding",
+        "_last_completion",
+    )
+
+    def __init__(self, cpu_id: int = 0):
+        self.cpu_id = cpu_id
+        self.busy_cycles = 0.0
+        self.kernel_busy_cycles = 0.0
+        self.stall_cycles = [0.0] * NUM_STALL_CLASSES
+        self._now = 0.0
+        self._outstanding = []
+        self._last_completion = 0.0
+
+    def busy(self, cycles: int, kernel: bool) -> None:
+        c = cycles / self.ISSUE_SPEEDUP
+        self.busy_cycles += c
+        if kernel:
+            self.kernel_busy_cycles += c
+        self._now += c
+
+    def stall(self, cycles: int, klass: int, dependent: bool = False,
+              is_instr: bool = False) -> None:
+        """Account an L1-miss service of ``cycles`` at class ``klass``.
+
+        Data misses overlap with execution up to the window's slack and
+        with up to MSHRS-1 other outstanding misses; dependent loads
+        serialize behind the previous miss; instruction misses stall
+        the front end completely.
+        """
+        now = self._now
+        if is_instr:
+            # Front-end starvation: a fixed fraction of the fetch
+            # latency is hidden; the rest stalls the pipe.
+            stall = cycles * (1.0 - self.FRONTEND_HIDE)
+            self._now = now + stall
+            self.stall_cycles[klass] += stall
+            self._last_completion = self._now
+            return
+
+        outstanding = self._outstanding
+        if outstanding:
+            # Retire misses that have already come back.
+            outstanding = [t for t in outstanding if t > now]
+            self._outstanding = outstanding
+
+        issue = now
+        if dependent and self._last_completion > issue:
+            issue = self._last_completion
+        if len(outstanding) >= self.MSHRS:
+            earliest = min(outstanding)
+            outstanding.remove(earliest)
+            if earliest > issue:
+                issue = earliest
+        completion = issue + cycles
+        outstanding.append(completion)
+        self._last_completion = completion
+
+        stall = completion - now - self.WINDOW_CYCLES
+        if stall > 0:
+            self.stall_cycles[klass] += stall
+            self._now = now + stall
+
+    def drain(self) -> None:
+        """Wait for all outstanding misses at the end of a run."""
+        if self._outstanding:
+            last = max(self._outstanding)
+            if last > self._now:
+                # Residual drain is charged as local stall-equivalent;
+                # it is negligible (at most MSHRS misses once per run).
+                self.stall_cycles[1] += last - self._now
+                self._now = last
+            self._outstanding = []
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def reset(self) -> None:
+        self.busy_cycles = 0.0
+        self.kernel_busy_cycles = 0.0
+        self.stall_cycles = [0.0] * NUM_STALL_CLASSES
+        # Keep _now/_outstanding: resetting statistics mid-run (warmup
+        # boundary) must not rewind the pipeline itself.
+
+    def breakdown(self) -> ExecutionBreakdown:
+        s = self.stall_cycles
+        return ExecutionBreakdown(
+            busy=self.busy_cycles,
+            kernel_busy=self.kernel_busy_cycles,
+            l2_hit=s[0],
+            local_stall=s[1],
+            remote_clean_stall=s[2],
+            remote_dirty_stall=s[3],
+        )

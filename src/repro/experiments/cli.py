@@ -1,0 +1,128 @@
+"""Command-line entry point: regenerate any paper figure.
+
+Usage::
+
+    repro-oltp fig7                # reproduce Figure 7 at paper settings
+    repro-oltp all --quick         # smoke-run every figure
+    repro-oltp fig10 --scale 16    # bigger (slower, higher-fidelity) run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import (
+    ablations,
+    fig3_latencies,
+    integration,
+    offchip,
+    onchip,
+    rac,
+)
+from repro.experiments import ooo as ooo_experiment
+from repro.experiments.common import Settings
+from repro.experiments.export import write_figure_csv
+from repro.experiments.report import render
+
+FIGURES = ("fig3", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13")
+EXTRAS = ("ablations",)
+
+
+def _settings(args: argparse.Namespace) -> Settings:
+    if args.quick:
+        base = Settings.quick()
+    else:
+        base = Settings.paper()
+    return Settings(
+        scale=args.scale if args.scale else base.scale,
+        uni_txns=args.uni_txns if args.uni_txns else base.uni_txns,
+        mp_txns=args.mp_txns if args.mp_txns else base.mp_txns,
+        seed=args.seed,
+    )
+
+
+def run_figure(name: str, settings: Settings, chart: bool = False,
+               csv_dir: Optional[str] = None) -> str:
+    """Run one figure driver and return its text report.
+
+    When ``csv_dir`` is given, each reproduced Figure is also written
+    there as ``<name>.csv`` (Figures 3 and 11 have no tabular Figure
+    form and are skipped).
+    """
+
+    def dump(figure, suffix=""):
+        if csv_dir:
+            write_figure_csv(figure, f"{csv_dir}/{name}{suffix}.csv")
+        return figure
+
+    if name == "fig3":
+        return fig3_latencies.render()
+    if name == "fig5":
+        return render(dump(offchip.run_uniprocessor(settings)), chart=chart)
+    if name == "fig6":
+        return render(dump(offchip.run_multiprocessor(settings)), chart=chart)
+    if name == "fig7":
+        return render(dump(onchip.run_uniprocessor(settings)), chart=chart)
+    if name == "fig8":
+        return render(dump(onchip.run_multiprocessor(settings)), chart=chart)
+    if name == "fig10":
+        study = integration.run(settings)
+        dump(study.uni, "_uni")
+        dump(study.mp, "_mp")
+        return "\n\n".join(
+            render(f, misses=False, chart=chart) for f in (study.uni, study.mp)
+        )
+    if name == "fig11":
+        return rac.run_miss_study(settings).render()
+    if name == "fig12":
+        return render(dump(rac.run_perf_study(settings)), misses=False, chart=chart)
+    if name == "fig13":
+        study = ooo_experiment.run(settings)
+        dump(study.uni, "_uni")
+        dump(study.mp, "_mp")
+        return study.render()
+    if name == "ablations":
+        return ablations.run_all(settings)
+    raise ValueError(f"unknown figure {name!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-oltp",
+        description=(
+            "Reproduce figures from 'Impact of Chip-Level Integration on "
+            "Performance of OLTP Workloads' (HPCA 2000)."
+        ),
+    )
+    parser.add_argument("figure", choices=FIGURES + EXTRAS + ("all",),
+                        help="which figure (or extra study) to reproduce")
+    parser.add_argument("--scale", type=int, default=0,
+                        help="workload/cache scale-down factor (default 32)")
+    parser.add_argument("--uni-txns", type=int, default=0,
+                        help="measured transactions for uniprocessor runs")
+    parser.add_argument("--mp-txns", type=int, default=0,
+                        help="measured transactions for 8-CPU runs")
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument("--quick", action="store_true",
+                        help="small fast runs (CI smoke sizes)")
+    parser.add_argument("--chart", action="store_true",
+                        help="also print ASCII stacked-bar charts")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write each figure as CSV into DIR")
+    args = parser.parse_args(argv)
+
+    settings = _settings(args)
+    names = FIGURES if args.figure == "all" else (args.figure,)
+    for name in names:
+        start = time.time()
+        print(run_figure(name, settings, chart=args.chart, csv_dir=args.csv))
+        print(f"[{name} took {time.time() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

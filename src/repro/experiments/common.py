@@ -1,0 +1,132 @@
+"""Shared machinery for the per-figure experiment drivers.
+
+Every figure driver follows the same pattern: obtain (or reuse) the
+OLTP trace for its processor count, simulate a list of machine
+configurations against it, and return a :class:`Figure` whose rows are
+normalized the way the paper normalizes that figure.  Traces are
+cached per (ncpus, scale, txns, seed) so a full reproduction run
+generates each workload exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.machine import MachineConfig
+from repro.core.results import RunResult
+from repro.core.system import simulate
+from repro.trace.generator import OltpTrace, build_trace
+
+
+@dataclass(frozen=True)
+class Settings:
+    """Run-size knobs for the experiment drivers.
+
+    ``quick()`` is sized for CI smoke runs; ``paper()`` for the full
+    benchmark harness.  ``mp_txns`` is larger than ``uni_txns`` because
+    8 CPUs split the transaction stream.
+    """
+
+    scale: int = 32
+    uni_txns: int = 400
+    mp_txns: int = 1200
+    seed: int = 7
+
+    @classmethod
+    def paper(cls) -> "Settings":
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "Settings":
+        return cls(scale=64, uni_txns=120, mp_txns=320)
+
+
+_TRACE_CACHE: Dict[Tuple[int, int, int, int], OltpTrace] = {}
+
+
+def get_trace(ncpus: int, settings: Settings) -> OltpTrace:
+    """Build (or reuse) the OLTP trace for ``ncpus`` processors."""
+    txns = settings.uni_txns if ncpus == 1 else settings.mp_txns
+    key = (ncpus, settings.scale, txns, settings.seed)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = build_trace(
+            ncpus=ncpus, scale=settings.scale, txns=txns, seed=settings.seed
+        )
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop cached traces (tests use this to bound memory)."""
+    _TRACE_CACHE.clear()
+
+
+@dataclass
+class Row:
+    """One bar of a figure: a labelled, normalized simulation result."""
+
+    label: str
+    result: RunResult
+    time_norm: float = 0.0
+    miss_norm: float = 0.0
+
+    @property
+    def breakdown_norm(self) -> dict:
+        """Execution-time components scaled so the baseline totals 100."""
+        b = self.result.breakdown
+        total = b.total or 1.0
+        f = self.time_norm / total
+        return {
+            "CPU": b.busy * f,
+            "L2Hit": b.l2_hit * f,
+            "LocStall": b.local_stall * f,
+            "RemStall": b.remote_stall * f,
+        }
+
+    def miss_breakdown_norm(self, baseline_misses: float) -> dict:
+        """Miss categories scaled so the baseline's total is 100."""
+        return self.result.misses.normalized_to(baseline_misses or 1)
+
+
+@dataclass
+class Figure:
+    """A reproduced figure: titled, normalized rows plus shape notes."""
+
+    figure_id: str
+    title: str
+    rows: List[Row] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    baseline_index: int = 0
+
+    @property
+    def baseline(self) -> Row:
+        return self.rows[self.baseline_index]
+
+    def row(self, label: str) -> Row:
+        for r in self.rows:
+            if r.label == label:
+                return r
+        raise KeyError(f"{self.figure_id} has no row {label!r}")
+
+    def speedup(self, label: str, over: Optional[str] = None) -> float:
+        base = self.row(over) if over else self.baseline
+        return base.result.exec_time / self.row(label).result.exec_time
+
+
+def run_configs(
+    figure_id: str,
+    title: str,
+    labelled_configs: List[Tuple[str, MachineConfig]],
+    trace: OltpTrace,
+    baseline_index: int = 0,
+) -> Figure:
+    """Simulate every configuration and normalize against the baseline."""
+    rows = [Row(label, simulate(machine, trace)) for label, machine in labelled_configs]
+    base_time = rows[baseline_index].result.exec_time or 1.0
+    base_miss = rows[baseline_index].result.misses.total or 1
+    for row in rows:
+        row.time_norm = 100.0 * row.result.exec_time / base_time
+        row.miss_norm = 100.0 * row.result.misses.total / base_miss
+    return Figure(figure_id, title, rows, baseline_index=baseline_index)

@@ -1,0 +1,73 @@
+"""CSV export of reproduced figures (for spreadsheets and plotting)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Union
+
+from repro.experiments.common import Figure
+
+#: Column order of the exported rows.
+COLUMNS = (
+    "configuration",
+    "time_norm",
+    "cpu",
+    "l2_hit",
+    "local_stall",
+    "remote_stall",
+    "miss_norm",
+    "i_local",
+    "i_remote",
+    "d_local",
+    "d_remote_clean",
+    "d_remote_dirty",
+    "cycles_per_txn",
+    "dirty_share",
+)
+
+
+def figure_rows(figure: Figure) -> List[dict]:
+    """One flat dict per bar, normalized like the paper's graphs."""
+    base_misses = figure.baseline.result.misses.total or 1
+    rows = []
+    for row in figure.rows:
+        b = row.breakdown_norm
+        m = row.miss_breakdown_norm(base_misses)
+        rows.append(
+            {
+                "configuration": row.label,
+                "time_norm": round(row.time_norm, 3),
+                "cpu": round(b["CPU"], 3),
+                "l2_hit": round(b["L2Hit"], 3),
+                "local_stall": round(b["LocStall"], 3),
+                "remote_stall": round(b["RemStall"], 3),
+                "miss_norm": round(row.miss_norm, 3),
+                "i_local": round(m["I-Loc"], 3),
+                "i_remote": round(m["I-Rem"], 3),
+                "d_local": round(m["D-Loc"], 3),
+                "d_remote_clean": round(m["D-RemClean"], 3),
+                "d_remote_dirty": round(m["D-RemDirty"], 3),
+                "cycles_per_txn": round(row.result.cycles_per_txn, 1),
+                "dirty_share": round(row.result.misses.dirty_share, 4),
+            }
+        )
+    return rows
+
+
+def figure_to_csv(figure: Figure) -> str:
+    """Render a figure as CSV text."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=COLUMNS)
+    writer.writeheader()
+    writer.writerows(figure_rows(figure))
+    return buf.getvalue()
+
+
+def write_figure_csv(figure: Figure, path: Union[str, Path]) -> Path:
+    """Write a figure's CSV to ``path``; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(figure_to_csv(figure))
+    return path

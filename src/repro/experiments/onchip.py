@@ -1,0 +1,104 @@
+"""Figures 7 and 8: impact of integrating the L2 cache on-chip.
+
+The leftmost bar is the Base configuration with the 8 MB direct-mapped
+off-chip L2; the remaining bars are on-chip SRAM L2s (1 MB 8-way, then
+2 MB at 8/4/2/1 ways) and the larger-but-slower 8 MB 8-way embedded
+DRAM option.  Figure 7 is the uniprocessor, Figure 8 the 8-processor
+system; everything is normalized to Base.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.machine import MachineConfig
+from repro.experiments.common import Figure, Settings, get_trace, run_configs
+from repro.params import MB, L2Technology
+
+#: (label, size, assoc) for the integrated SRAM options, paper order.
+SRAM_POINTS = (
+    ("1M8w", 1 * MB, 8),
+    ("2M8w", 2 * MB, 8),
+    ("2M4w", 2 * MB, 4),
+    ("2M2w", 2 * MB, 2),
+    ("2M1w", 2 * MB, 1),
+)
+
+
+def _configs(ncpus: int, scale: int):
+    configs = [("8M1w Base", MachineConfig.base(ncpus, scale=scale))]
+    for label, size, assoc in SRAM_POINTS:
+        configs.append(
+            (
+                label,
+                MachineConfig.integrated_l2(
+                    ncpus, l2_size=size, l2_assoc=assoc, scale=scale
+                ),
+            )
+        )
+    configs.append(
+        (
+            "8M8w DRAM",
+            MachineConfig.integrated_l2(
+                ncpus,
+                l2_size=8 * MB,
+                l2_assoc=8,
+                technology=L2Technology.ON_CHIP_DRAM,
+                scale=scale,
+            ),
+        )
+    )
+    return configs
+
+
+def _annotate(figure: Figure, ncpus: int) -> None:
+    speedup = figure.speedup("2M8w")
+    target = "~1.4x" if ncpus == 1 else "~1.2x"
+    figure.notes.append(
+        f"2M8w on-chip speedup over 8M1w off-chip = {speedup:.2f}x (paper: {target})"
+    )
+    m2m8w = figure.row("2M8w").result.misses.total
+    m2m4w = figure.row("2M4w").result.misses.total
+    mbase = figure.baseline.result.misses.total or 1
+    figure.notes.append(
+        f"misses vs 8M1w: 2M8w {m2m8w / mbase:.2f}, 2M4w {m2m4w / mbase:.2f} "
+        "(paper: both < 1 — associativity beats capacity)"
+    )
+    dram = figure.speedup("8M8w DRAM", over="2M8w")
+    figure.notes.append(
+        f"8M8w DRAM vs 2M8w SRAM = {dram:.2f}x "
+        + ("(paper: DRAM loses on a uniprocessor)" if ncpus == 1
+           else "(paper: ~10% loss, but more robust capacity)")
+    )
+
+
+def run(ncpus: int, settings: Optional[Settings] = None) -> Figure:
+    """Run the on-chip study for 1 (Figure 7) or 8 (Figure 8) CPUs."""
+    settings = settings or Settings.paper()
+    trace = get_trace(ncpus, settings)
+    fig_id = "Figure 7" if ncpus == 1 else "Figure 8"
+    title = (
+        f"impact of on-chip L2 — "
+        f"{'uniprocessor' if ncpus == 1 else f'{ncpus} processors'}"
+    )
+    figure = run_configs(fig_id, title, _configs(ncpus, settings.scale), trace)
+    _annotate(figure, ncpus)
+    return figure
+
+
+def run_uniprocessor(settings: Optional[Settings] = None) -> Figure:
+    """Figure 7."""
+    return run(1, settings)
+
+
+def run_multiprocessor(settings: Optional[Settings] = None) -> Figure:
+    """Figure 8."""
+    return run(8, settings)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from repro.experiments.report import render
+
+    print(render(run_uniprocessor()))
+    print()
+    print(render(run_multiprocessor()))

@@ -1,0 +1,88 @@
+"""Plain-text rendering of reproduced figures.
+
+The paper presents stacked-bar charts; in a terminal we render each
+figure as a table of normalized execution-time components and a table
+of normalized miss categories, matching the left/right graph pairs of
+Figures 5–8 and the single graphs of Figures 10–13.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.common import Figure, Row
+
+
+def _fmt(value: float) -> str:
+    return f"{value:7.1f}"
+
+
+def time_table(figure: Figure) -> str:
+    """Normalized execution-time table (baseline = 100)."""
+    lines = [
+        f"{figure.figure_id}: {figure.title}",
+        f"{'configuration':24s} {'total':>7s} {'CPU':>7s} {'L2Hit':>7s} "
+        f"{'LocStall':>8s} {'RemStall':>8s}",
+    ]
+    for row in figure.rows:
+        b = row.breakdown_norm
+        lines.append(
+            f"{row.label:24s} {_fmt(row.time_norm)} {_fmt(b['CPU'])} "
+            f"{_fmt(b['L2Hit'])} {_fmt(b['LocStall']):>8s} {_fmt(b['RemStall']):>8s}"
+        )
+    return "\n".join(lines)
+
+
+def miss_table(figure: Figure) -> str:
+    """Normalized L2-miss table (baseline total = 100)."""
+    base = figure.baseline.result.misses.total or 1
+    lines = [
+        f"{figure.figure_id}: normalized L2 misses",
+        f"{'configuration':24s} {'total':>7s} {'I-Loc':>7s} {'I-Rem':>7s} "
+        f"{'D-Loc':>7s} {'D-RemC':>7s} {'D-RemD':>7s}",
+    ]
+    for row in figure.rows:
+        m = row.miss_breakdown_norm(base)
+        lines.append(
+            f"{row.label:24s} {_fmt(m['total'])} {_fmt(m['I-Loc'])} "
+            f"{_fmt(m['I-Rem'])} {_fmt(m['D-Loc'])} {_fmt(m['D-RemClean'])} "
+            f"{_fmt(m['D-RemDirty'])}"
+        )
+    return "\n".join(lines)
+
+
+def bar_chart(figure: Figure, width: int = 50) -> str:
+    """ASCII stacked bars of normalized execution time."""
+    peak = max(row.time_norm for row in figure.rows) or 1.0
+    scale = width / peak
+    lines = [f"{figure.figure_id}: {figure.title} (normalized time)"]
+    for row in figure.rows:
+        b = row.breakdown_norm
+        segments = (
+            ("#", b["CPU"]),
+            ("=", b["L2Hit"]),
+            ("-", b["LocStall"]),
+            (".", b["RemStall"]),
+        )
+        bar = "".join(ch * max(0, round(v * scale)) for ch, v in segments)
+        lines.append(f"{row.label:24s} |{bar} {row.time_norm:.0f}")
+    lines.append("   legend: # CPU   = L2 hit   - local stall   . remote stall")
+    return "\n".join(lines)
+
+
+def render(figure: Figure, *, misses: bool = True, chart: bool = False) -> str:
+    """Full text report for one reproduced figure."""
+    parts: List[str] = [time_table(figure)]
+    if misses:
+        parts.append(miss_table(figure))
+    if chart:
+        parts.append(bar_chart(figure))
+    if figure.notes:
+        parts.append(
+            "\n".join(["notes:"] + [f"  - {note}" for note in figure.notes])
+        )
+    return "\n\n".join(parts)
+
+
+def summary_line(row: Row) -> str:
+    return f"{row.label}: time {row.time_norm:.1f}, misses {row.miss_norm:.1f}"

@@ -1,0 +1,16 @@
+"""Cache substrate: set-associative caches, per-node hierarchies, RAC."""
+
+from repro.memsys.cache import AccessResult, CacheGeometryError, SetAssocCache
+from repro.memsys.hierarchy import HierarchyLevel, HierarchyResult, NodeCaches
+from repro.memsys.rac import RacLookup, RemoteAccessCache
+
+__all__ = [
+    "AccessResult",
+    "CacheGeometryError",
+    "SetAssocCache",
+    "HierarchyLevel",
+    "HierarchyResult",
+    "NodeCaches",
+    "RacLookup",
+    "RemoteAccessCache",
+]

@@ -1,0 +1,232 @@
+"""Set-associative write-back caches with true-LRU replacement.
+
+These caches operate on *line numbers* (byte address >> LINE_SHIFT),
+not byte addresses, because every client in the simulator has already
+collapsed accesses to line granularity.  Each set is kept as a small
+list ordered most-recently-used first, which is both simple and fast
+for the associativities the paper studies (1 to 8 ways).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.params import LINE_SIZE
+
+
+class CacheGeometryError(ValueError):
+    """Raised when a cache cannot be built from the requested geometry."""
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a cache access.
+
+    ``hit`` is True when the line was present.  On a miss the line is
+    filled and ``victim``/``victim_dirty`` describe the evicted line,
+    if any.  ``writeback`` is True when the eviction must write data
+    back to the next level.
+    """
+
+    hit: bool
+    victim: Optional[int] = None
+    victim_dirty: bool = False
+
+    @property
+    def writeback(self) -> bool:
+        return self.victim is not None and self.victim_dirty
+
+
+class SetAssocCache:
+    """A set-associative, write-back, write-allocate cache.
+
+    Parameters
+    ----------
+    size:
+        Capacity in bytes.  Must be a multiple of ``assoc * line_size``.
+    assoc:
+        Number of ways.  ``assoc=1`` models a direct-mapped cache.
+    line_size:
+        Line size in bytes (defaults to the paper's 64 B).
+    name:
+        Diagnostic label used in error messages and reports.
+    """
+
+    __slots__ = (
+        "name",
+        "size",
+        "assoc",
+        "line_size",
+        "num_sets",
+        "_sets",
+        "_dirty",
+        "hits",
+        "misses",
+        "evictions",
+        "writebacks",
+    )
+
+    def __init__(self, size: int, assoc: int, line_size: int = LINE_SIZE, name: str = "cache"):
+        if size <= 0 or assoc <= 0 or line_size <= 0:
+            raise CacheGeometryError(f"{name}: size, assoc and line_size must be positive")
+        if size % (assoc * line_size):
+            raise CacheGeometryError(
+                f"{name}: size {size} is not a multiple of assoc*line_size "
+                f"({assoc}*{line_size})"
+            )
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.num_sets = size // (assoc * line_size)
+        self._sets = [[] for _ in range(self.num_sets)]
+        self._dirty = [set() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    # -- state inspection -------------------------------------------------
+
+    def contains(self, line: int) -> bool:
+        """True when ``line`` is resident (does not update LRU order)."""
+        return line in self._sets[line % self.num_sets]
+
+    def is_dirty(self, line: int) -> bool:
+        """True when ``line`` is resident and has been written."""
+        return line in self._dirty[line % self.num_sets]
+
+    def resident_lines(self):
+        """Iterate over all resident line numbers (diagnostics/tests)."""
+        for ways in self._sets:
+            yield from ways
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently held."""
+        return sum(len(ways) for ways in self._sets)
+
+    # -- mutation ----------------------------------------------------------
+
+    def access(self, line: int, write: bool) -> AccessResult:
+        """Reference ``line``; fill on miss; return hit/victim info."""
+        idx = line % self.num_sets
+        ways = self._sets[idx]
+        if line in ways:
+            self.hits += 1
+            if ways[0] != line:
+                ways.remove(line)
+                ways.insert(0, line)
+            if write:
+                self._dirty[idx].add(line)
+            return AccessResult(True)
+
+        self.misses += 1
+        victim = None
+        victim_dirty = False
+        if len(ways) >= self.assoc:
+            victim = ways.pop()
+            self.evictions += 1
+            dirty = self._dirty[idx]
+            if victim in dirty:
+                dirty.remove(victim)
+                victim_dirty = True
+                self.writebacks += 1
+        ways.insert(0, line)
+        if write:
+            self._dirty[idx].add(line)
+        return AccessResult(False, victim, victim_dirty)
+
+    def probe(self, line: int, write: bool) -> bool:
+        """Like :meth:`access` but never fills on a miss.
+
+        Used for no-allocate lookups (e.g. RAC probes for local data).
+        Returns True on a hit, updating LRU order and dirtiness.
+        """
+        idx = line % self.num_sets
+        ways = self._sets[idx]
+        if line not in ways:
+            self.misses += 1
+            return False
+        self.hits += 1
+        if ways[0] != line:
+            ways.remove(line)
+            ways.insert(0, line)
+        if write:
+            self._dirty[idx].add(line)
+        return True
+
+    def fill(self, line: int, dirty: bool = False) -> AccessResult:
+        """Install ``line`` without counting a demand access.
+
+        Used for fills triggered by the protocol rather than the CPU
+        (e.g. RAC allocation on remote fetch).  Returns eviction info.
+        """
+        idx = line % self.num_sets
+        ways = self._sets[idx]
+        if line in ways:
+            if dirty:
+                self._dirty[idx].add(line)
+            return AccessResult(True)
+        victim = None
+        victim_dirty = False
+        if len(ways) >= self.assoc:
+            victim = ways.pop()
+            self.evictions += 1
+            dset = self._dirty[idx]
+            if victim in dset:
+                dset.remove(victim)
+                victim_dirty = True
+                self.writebacks += 1
+        ways.insert(0, line)
+        if dirty:
+            self._dirty[idx].add(line)
+        return AccessResult(False, victim, victim_dirty)
+
+    def mark_dirty(self, line: int) -> bool:
+        """Set the dirty bit of a resident line without touching LRU.
+
+        Models dirty-status propagation from an upper-level cache (an
+        L1 write hit does not generate an L2 access in a write-back
+        hierarchy).  Returns True when the line was resident.
+        """
+        idx = line % self.num_sets
+        if line in self._sets[idx]:
+            self._dirty[idx].add(line)
+            return True
+        return False
+
+    def invalidate(self, line: int) -> bool:
+        """Remove ``line`` if present; returns True when it was dirty."""
+        idx = line % self.num_sets
+        ways = self._sets[idx]
+        if line not in ways:
+            return False
+        ways.remove(line)
+        dirty = self._dirty[idx]
+        if line in dirty:
+            dirty.remove(line)
+            return True
+        return False
+
+    def clean(self, line: int) -> bool:
+        """Clear the dirty bit of ``line`` (downgrade); True if it was dirty."""
+        idx = line % self.num_sets
+        dirty = self._dirty[idx]
+        if line in dirty:
+            dirty.remove(line)
+            return True
+        return False
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"SetAssocCache({self.name!r}, size={self.size}, assoc={self.assoc}, "
+            f"sets={self.num_sets})"
+        )

@@ -1,0 +1,167 @@
+"""The SGA block buffer: an LRU cache of database blocks in memory.
+
+This mirrors the structure the paper describes in Section 2.1: the
+block buffer area caches database disk blocks, and the metadata area
+holds the directory for it (hash buckets and buffer headers).  Every
+lookup walks a hash chain (traced as dependent loads into the metadata
+area), and every block touch lands in the frame's lines inside the
+block-buffer region.
+
+The pool is a *real* cache — blocks are faulted in, evicted LRU, and
+marked dirty — so the database-writer daemon has genuine work to do.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.oltp.locks import LATCHES, chain_latch_slot
+from repro.oltp.schema import BLOCK_SIZE
+from repro.oltp.tracing import EngineTracer, NullTracer
+
+
+@dataclass
+class BufferPoolStats:
+    """Hit/miss accounting for the block buffer (not CPU caches)."""
+
+    gets: int = 0
+    hits: int = 0
+    disk_reads: int = 0
+    disk_writes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.gets if self.gets else 0.0
+
+
+class BufferPool:
+    """Hash-indexed LRU pool of ``num_frames`` block frames.
+
+    Block identifiers are global integers assigned by the database's
+    segment layout.  The pool reports every memory-visible step to the
+    tracer: the hash-bucket probe, the header-chain walk, the header
+    update, and (on a miss) the frame fill.
+    """
+
+    #: Buffer-header chain length target; buckets = frames / this.
+    CHAIN_TARGET = 8
+
+    def __init__(
+        self,
+        num_frames: int,
+        tracer: Optional[EngineTracer] = None,
+    ):
+        if num_frames <= 0:
+            raise ValueError("num_frames must be positive")
+        self.num_frames = num_frames
+        self.num_buckets = max(16, num_frames // self.CHAIN_TARGET)
+        self.tracer = tracer if tracer is not None else NullTracer()
+        # block_id -> frame_id, in LRU order (oldest first).
+        self._frame_of: "OrderedDict[int, int]" = OrderedDict()
+        self._block_in: Dict[int, int] = {}  # frame_id -> block_id
+        self._free = list(range(num_frames - 1, -1, -1))
+        self._dirty: set = set()  # frame ids
+        self.stats = BufferPoolStats()
+
+    # -- queries -------------------------------------------------------------
+
+    def frame_holding(self, block_id: int) -> Optional[int]:
+        """Frame caching ``block_id`` or None (no tracing; tests only)."""
+        return self._frame_of.get(block_id)
+
+    def is_dirty(self, frame_id: int) -> bool:
+        return frame_id in self._dirty
+
+    @property
+    def dirty_frames(self) -> tuple:
+        return tuple(self._dirty)
+
+    @property
+    def resident_blocks(self) -> int:
+        return len(self._frame_of)
+
+    def _bucket_of(self, block_id: int) -> int:
+        # Multiplicative hash; matches how Oracle spreads DBA values.
+        return (block_id * 2654435761) % self.num_buckets
+
+    # -- the hot path ----------------------------------------------------------
+
+    def get(self, block_id: int, for_write: bool) -> int:
+        """Pin ``block_id`` into a frame and return the frame id.
+
+        Traces the chain-latch acquisition, the hash lookup and header
+        traffic; on a miss, traces the victim writeback decision and
+        the frame fill.
+        """
+        tracer = self.tracer
+        self.stats.gets += 1
+        # Chain latch (write-shared hot line), hash-bucket probe, then
+        # a dependent header-chain load.
+        bucket = self._bucket_of(block_id)
+        tracer.on_meta("latch", chain_latch_slot(bucket), True)
+        tracer.on_meta("buf_hash", bucket, False, dependent=True)
+
+        frame = self._frame_of.get(block_id)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frame_of.move_to_end(block_id)
+            tracer.on_meta("buf_header", frame, False, dependent=True)
+            # Header state always changes on a pin: touch count and pin
+            # list — this is the classic buffer-header write churn that
+            # makes OLTP metadata so communication-heavy.
+            tracer.on_meta("buf_header", frame, True)
+            if for_write:
+                self._dirty.add(frame)
+            return frame
+
+        # Miss: find a frame (free list, else LRU victim) under the
+        # LRU latch.
+        tracer.on_meta("latch", LATCHES.index("cache_buffers_lru"), True)
+        tracer.on_code("buf_replace")
+        if self._free:
+            frame = self._free.pop()
+        else:
+            victim_block, frame = self._frame_of.popitem(last=False)
+            del self._block_in[frame]
+            tracer.on_meta("buf_header", frame, True)
+            if frame in self._dirty:
+                # Foreground writeback (DBWR fell behind).
+                self._dirty.discard(frame)
+                self.stats.disk_writes += 1
+                tracer.on_syscall("disk_write", payload_bytes=BLOCK_SIZE)
+        # Read the block "from disk" into the frame.  The data movement
+        # itself is DMA and does not pass through the CPU caches; the
+        # CPU's share is the I/O syscall and the header update.
+        self.stats.disk_reads += 1
+        tracer.on_syscall("disk_read", payload_bytes=BLOCK_SIZE)
+        tracer.on_meta("buf_header", frame, True)
+        self._frame_of[block_id] = frame
+        self._block_in[frame] = block_id
+        if for_write:
+            self._dirty.add(frame)
+        return frame
+
+    # -- daemon support ---------------------------------------------------------
+
+    def flush_frames(self, max_frames: int) -> int:
+        """DBWR entry: write out up to ``max_frames`` dirty frames.
+
+        The block data goes to disk by DMA; DBWR's CPU work — and its
+        3-hop traffic against the server CPUs — is the header scan and
+        update for each dirty buffer, plus the I/O syscalls.  Returns
+        the number of frames flushed.
+        """
+        tracer = self.tracer
+        flushed = 0
+        # Flush in ascending frame order for determinism.
+        for frame in sorted(self._dirty):
+            if flushed >= max_frames:
+                break
+            tracer.on_meta("buf_header", frame, True)
+            tracer.on_syscall("disk_write", payload_bytes=BLOCK_SIZE)
+            self._dirty.discard(frame)
+            self.stats.disk_writes += 1
+            flushed += 1
+        return flushed

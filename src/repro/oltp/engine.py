@@ -1,0 +1,292 @@
+"""The OLTP engine: dedicated servers, daemons, and the TPC-B loop.
+
+This is the reproduction's stand-in for Oracle 7.3.2 in dedicated
+mode (paper Section 2.1): each client has a dedicated server process;
+servers execute transactions against the shared SGA (block buffer +
+metadata) under latches and enqueue locks, generate redo into the
+shared log buffer, and commit through the log-writer daemon.  The
+database-writer daemon trickles dirty blocks out behind them.
+
+Every step reports itself to the tracer, so running the engine *is*
+generating the memory-reference behaviour the simulator consumes —
+there is no separate hand-written access-pattern table.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.oltp.bufferpool import BufferPool
+from repro.oltp.config import WorkloadConfig
+from repro.oltp.database import TpcbDatabase
+from repro.oltp.locks import LockManager
+from repro.oltp.log import RedoLog
+from repro.oltp.tracing import EngineTracer, NullTracer, ProcessContext
+from repro.oltp.txn import TpcbTransaction, generate_transaction
+
+#: Redo record sizes in bytes (update vector + row piece).
+REDO_UPDATE_BYTES = 120
+REDO_INSERT_BYTES = 80
+REDO_COMMIT_BYTES = 32
+
+#: Client request/response sizes over the pipe.
+PIPE_MSG_BYTES = 128
+
+
+@dataclass
+class EngineStats:
+    """Run-level accounting for the engine itself."""
+
+    committed: int = 0
+    lgwr_activations: int = 0
+    dbwr_activations: int = 0
+    remote_account_txns: int = 0
+
+
+class OracleEngine:
+    """A dedicated-server TPC-B engine wired to a tracer."""
+
+    def __init__(self, config: WorkloadConfig, tracer: Optional[EngineTracer] = None):
+        self.config = config
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.db = TpcbDatabase(config.tpcb)
+        self.pool = BufferPool(config.buffer_frames, self.tracer)
+        self.locks = LockManager(config.lock_slots, self.tracer)
+        self.log = RedoLog(config.log_buffer_bytes, self.tracer)
+        self.rng = random.Random(config.seed)
+        self.stats = EngineStats()
+
+        self.servers = [
+            ProcessContext("server", i, cpu=i % config.ncpus)
+            for i in range(config.num_servers)
+        ]
+        # Daemons get PGA ids after all the servers'.
+        self.lgwr = ProcessContext("lgwr", 0, cpu=0, pga_id=config.num_servers)
+        self.dbwr = ProcessContext("dbwr", 0, cpu=0, pga_id=config.num_servers + 1)
+        self._daemon_dispatches = 0
+        self._since_lgwr = 0
+        self._since_dbwr = 0
+        # Per-server rotating cursor into the hot PGA area, so reuse is
+        # spread over the whole hot set instead of one line.
+        self._pga_cursor = [0] * config.num_servers
+
+    # -- top-level driving ----------------------------------------------------
+
+    def prewarm(self) -> int:
+        """Fault the database into the block buffer without tracing.
+
+        The paper positions the workload in steady state with SimOS's
+        fast (binary-translation) mode before switching to the timing
+        models; this is our equivalent.  Account blocks are loaded
+        first and the hot tables last, so the pool's LRU order starts
+        sensible.  Returns the number of blocks resident afterwards.
+        """
+        saved = self.pool.tracer
+        self.pool.tracer = NullTracer()
+        try:
+            layout = self.db.layout
+            for blk in range(layout.account_base, layout.teller_base):
+                self.pool.get(blk, for_write=False)
+            for blk in range(layout.teller_base, layout.history_base):
+                self.pool.get(blk, for_write=False)
+            for i in range(layout.history_blocks):
+                self.pool.get(layout.history_base + i, for_write=False)
+            # Index segments (leaves are as hot as the rows they map).
+            for blk in range(layout.account_index_base, layout.total_blocks):
+                self.pool.get(blk, for_write=False)
+        finally:
+            self.pool.tracer = saved
+        # Prewarm faults should not pollute the measured hit rate.
+        self.pool.stats = type(self.pool.stats)()
+        return self.pool.resident_blocks
+
+    def run(self, n_txns: int) -> int:
+        """Execute ``n_txns`` transactions; returns the commit count."""
+        for _ in range(n_txns):
+            server = self.servers[self.rng.randrange(len(self.servers))]
+            txn = generate_transaction(self.rng, self.config.tpcb, self.stats.committed)
+            self._execute(server, txn)
+            self._run_daemons()
+        return self.stats.committed
+
+    def run_one(self, server_index: int, txn: TpcbTransaction) -> None:
+        """Execute one specific transaction on one server (tests)."""
+        self._execute(self.servers[server_index], txn)
+        self._run_daemons()
+
+    # -- the transaction path ---------------------------------------------------
+
+    def _execute(self, server: ProcessContext, txn: TpcbTransaction) -> None:
+        t = self.tracer
+        cfg = self.config
+        scale = cfg.tpcb
+        t.on_switch(server)
+
+        # Dispatch: context switch in, read the client's request pipe.
+        t.on_code("ctx_switch")
+        t.on_syscall("pipe_read", PIPE_MSG_BYTES, obj=server.index)
+
+        # SQL layer: parse (soft parse against the cursor cache) and
+        # bind; session state lives in the server's PGA.
+        t.on_code("sql_parse")
+        self._touch_pga(server, lines=self._pga_hot_lines // 2, write=True)
+        t.on_code("sql_execute")
+        self._touch_pga(server, lines=4, write=False)
+
+        branch_id = txn.branch_id(scale)
+        if branch_id != scale.branch_of_teller(txn.teller_id):
+            self.stats.remote_account_txns += 1
+
+        # Transaction begin: claim an undo (rollback) segment slot —
+        # one of the hottest write-shared blocks in real OLTP systems.
+        self.locks.latch("transaction_alloc")
+        undo_slot = txn.txn_id % 16
+        t.on_meta("txnslot", undo_slot, True)
+
+        # 1. Account update (the random, footprint-heavy access,
+        #    reached through a three-level index descent).
+        self._update_row(
+            server, txn, "account", txn.account_id,
+            scale.account_row_bytes, dependent=True,
+        )
+        self.db.apply_account(txn.account_id, txn.delta)
+
+        # 2. Teller update (hot shared row).
+        self._update_row(server, txn, "teller", txn.teller_id, scale.teller_row_bytes)
+        self.db.apply_teller(txn.teller_id, txn.delta)
+
+        # 3. Branch update (the hottest shared row: 40 branches system-wide).
+        self._update_row(server, txn, "branch", branch_id, scale.branch_row_bytes)
+        self.db.apply_branch(branch_id, txn.delta)
+
+        # 4. History insert (append hot spot at the segment tail).
+        row = self.db.append_history()
+        blk, off = self.db.history_block(row)
+        t.on_code("buf_get")
+        frame = self.pool.get(blk, for_write=True)
+        t.on_code("row_insert")
+        t.on_frame(frame, off, scale.history_row_bytes, True)
+        self._append_redo(server, REDO_INSERT_BYTES)
+
+        # 5. Commit: redo commit marker, release locks, answer client.
+        t.on_code("txn_commit")
+        self._touch_pga(server, lines=2, write=True)
+        # Commit: mark the undo slot committed and snapshot-check a
+        # couple of peers (consistent-read bookkeeping).
+        t.on_meta("txnslot", undo_slot, True)
+        t.on_meta("txnslot", (undo_slot + 5) % 16, False, dependent=True)
+        self._append_redo(server, REDO_COMMIT_BYTES)
+        self.locks.release_all(txn.txn_id)
+        t.on_syscall("pipe_write", PIPE_MSG_BYTES, obj=server.index)
+        t.on_code("ctx_switch")
+
+        self.stats.committed += 1
+        self._since_lgwr += 1
+        self._since_dbwr += 1
+        t.on_txn_boundary(self.stats.committed)
+
+    def _update_row(
+        self,
+        server: ProcessContext,
+        txn: TpcbTransaction,
+        kind: str,
+        row_id: int,
+        row_bytes: int,
+        dependent: bool = False,
+    ) -> None:
+        """Lock, index-search, read-modify-write one row, generate redo."""
+        t = self.tracer
+        self.locks.acquire(kind, row_id, owner=txn.txn_id)
+        # Index descent: every node is a buffer-pool block, and each
+        # child-pointer load depends on the previous node's contents.
+        t.on_code("idx_search")
+        block_id, offset, index_path = self.db.lookup_row(kind, row_id)
+        entry = self.config.index_entry_bytes
+        for index_block in index_path:
+            frame = self.pool.get(index_block, for_write=False)
+            t.on_frame(
+                frame, (row_id * entry) % (2048 - entry), entry, False,
+                dependent=True,
+            )
+        t.on_code("buf_get")
+        frame = self.pool.get(block_id, for_write=True)
+        t.on_code("row_update")
+        t.on_frame(frame, offset, row_bytes, False, dependent=dependent)
+        t.on_frame(frame, offset, row_bytes, True)
+        # Row image and change vector are staged in the server's PGA.
+        self._touch_pga(server, lines=2, write=True)
+        self._append_redo_staging(txn)
+        self._append_redo(None, REDO_UPDATE_BYTES)
+
+    def _append_redo_staging(self, txn: TpcbTransaction) -> None:
+        """Build the change vector in the server's private redo staging."""
+        self.tracer.on_code("redo_gen")
+
+    def _append_redo(self, server: Optional[ProcessContext], nbytes: int) -> None:
+        """Copy a change vector into the shared log buffer under latches."""
+        self.locks.latch("redo_allocation")
+        self.log.append(nbytes)
+        self.locks.latch("redo_copy")
+
+    @property
+    def _pga_hot_lines(self) -> int:
+        return max(4, self.config.pga_hot_bytes // 64)
+
+    def _touch_pga(self, server: ProcessContext, lines: int, write: bool) -> None:
+        """Walk a rotating window of the server's hot PGA area.
+
+        Call sites are sized so each transaction covers the hot set
+        roughly once (session state, stack and staging buffers are all
+        exercised per call), with an occasional spill into the cold
+        PGA tail.
+        """
+        cfg = self.config
+        hot_lines = self._pga_hot_lines
+        cursor = self._pga_cursor[server.index]
+        for i in range(lines):
+            off = ((cursor + i) % hot_lines) * 64
+            self.tracer.on_pga(off, 64, write)
+        self._pga_cursor[server.index] = (cursor + lines) % hot_lines
+        if self.rng.random() < 0.05:
+            cold_off = cfg.pga_hot_bytes + self.rng.randrange(
+                max(1, cfg.pga_cold_bytes - 64)
+            )
+            self.tracer.on_pga(cold_off, 64, write)
+
+    # -- daemons -------------------------------------------------------------------
+
+    def _daemon_cpu(self) -> int:
+        """Daemons are scheduled wherever a CPU is free; rotate them."""
+        self._daemon_dispatches += 1
+        return self._daemon_dispatches % self.config.ncpus
+
+    def _run_daemons(self) -> None:
+        cfg = self.config
+        if self._since_lgwr >= cfg.commit_batch:
+            self._since_lgwr = 0
+            self._activate_lgwr()
+        if self._since_dbwr >= cfg.dbwr_interval:
+            self._since_dbwr = 0
+            self._activate_dbwr()
+
+    def _activate_lgwr(self) -> None:
+        """Group-commit flush of the redo buffer on the LGWR daemon."""
+        t = self.tracer
+        self.lgwr.cpu = self._daemon_cpu()
+        t.on_switch(self.lgwr)
+        t.on_code("ctx_switch")
+        t.on_code("lgwr_flush")
+        self.log.flush()
+        self.stats.lgwr_activations += 1
+
+    def _activate_dbwr(self) -> None:
+        """Checkpoint trickle: write a batch of aged dirty blocks."""
+        t = self.tracer
+        self.dbwr.cpu = self._daemon_cpu()
+        t.on_switch(self.dbwr)
+        t.on_code("ctx_switch")
+        t.on_code("dbwr_scan")
+        self.pool.flush_frames(self.config.dbwr_batch)
+        self.stats.dbwr_activations += 1

@@ -1,0 +1,134 @@
+"""TPC-B schema and scaling rules (Section 2.1 of the paper).
+
+TPC-B models a banking database: every transaction updates one
+account, the teller it was submitted from, and the branch both belong
+to, then appends a history record.  The paper runs 40 branches; per
+the TPC-B specification each branch has 10 tellers and 100,000
+accounts.
+
+Our proportional scaling (DESIGN.md Section 6) shrinks the *account
+population* — the huge, randomly accessed footprint — by the machine
+scale factor, while keeping the branch and teller populations at
+paper values: those are the small, hot, write-shared structures whose
+communication behaviour must not be diluted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Paper configuration: "a TPC-B database with 40 branches".
+BRANCHES = 40
+
+#: TPC-B specification ratios.
+TELLERS_PER_BRANCH = 10
+ACCOUNTS_PER_BRANCH = 100_000
+
+#: Oracle 7-era database block size (bytes).
+BLOCK_SIZE = 2048
+
+#: Approximate on-disk row sizes (bytes), per the TPC-B specification's
+#: 100-byte minimum row requirement.
+ACCOUNT_ROW_BYTES = 100
+TELLER_ROW_BYTES = 100
+BRANCH_ROW_BYTES = 100
+HISTORY_ROW_BYTES = 50
+
+
+@dataclass(frozen=True)
+class TpcbScale:
+    """Concrete table cardinalities and row sizes for one scaled instance.
+
+    Proportional scaling has two levers, applied to different tables:
+
+    * the *account* population shrinks by the scale factor (it is the
+      huge randomly-accessed footprint);
+    * the *teller/branch/history* populations keep their paper
+      cardinalities — they define the sharing structure — so their
+      per-row bytes shrink instead, keeping the tables' total hot
+      footprint proportional.
+    """
+
+    branches: int
+    tellers_per_branch: int
+    accounts_per_branch: int
+    account_row_bytes: int = ACCOUNT_ROW_BYTES
+    teller_row_bytes: int = TELLER_ROW_BYTES
+    branch_row_bytes: int = BRANCH_ROW_BYTES
+    history_row_bytes: int = HISTORY_ROW_BYTES
+
+    @classmethod
+    def paper(cls, scale: int = 1) -> "TpcbScale":
+        """The paper's 40-branch database, shrunk by ``scale``."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        accounts = max(64, ACCOUNTS_PER_BRANCH // scale)
+        return cls(
+            BRANCHES,
+            TELLERS_PER_BRANCH,
+            accounts,
+            account_row_bytes=max(16, ACCOUNT_ROW_BYTES // scale),
+            teller_row_bytes=max(8, TELLER_ROW_BYTES // scale),
+            branch_row_bytes=max(8, BRANCH_ROW_BYTES // scale),
+            history_row_bytes=max(8, HISTORY_ROW_BYTES // scale),
+        )
+
+    @property
+    def tellers(self) -> int:
+        return self.branches * self.tellers_per_branch
+
+    @property
+    def accounts(self) -> int:
+        return self.branches * self.accounts_per_branch
+
+    # -- block layout -------------------------------------------------------
+
+    @property
+    def account_rows_per_block(self) -> int:
+        return BLOCK_SIZE // self.account_row_bytes
+
+    @property
+    def teller_rows_per_block(self) -> int:
+        return BLOCK_SIZE // self.teller_row_bytes
+
+    @property
+    def branch_rows_per_block(self) -> int:
+        return BLOCK_SIZE // self.branch_row_bytes
+
+    @property
+    def history_rows_per_block(self) -> int:
+        return BLOCK_SIZE // self.history_row_bytes
+
+    @property
+    def account_blocks(self) -> int:
+        rows = self.account_rows_per_block
+        return (self.accounts + rows - 1) // rows
+
+    @property
+    def teller_blocks(self) -> int:
+        rows = self.teller_rows_per_block
+        return (self.tellers + rows - 1) // rows
+
+    @property
+    def branch_blocks(self) -> int:
+        rows = self.branch_rows_per_block
+        return (self.branches + rows - 1) // rows
+
+    def account_location(self, account_id: int) -> tuple:
+        """(block index within the accounts segment, byte offset)."""
+        rows = self.account_rows_per_block
+        return account_id // rows, (account_id % rows) * self.account_row_bytes
+
+    def teller_location(self, teller_id: int) -> tuple:
+        rows = self.teller_rows_per_block
+        return teller_id // rows, (teller_id % rows) * self.teller_row_bytes
+
+    def branch_location(self, branch_id: int) -> tuple:
+        rows = self.branch_rows_per_block
+        return branch_id // rows, (branch_id % rows) * self.branch_row_bytes
+
+    def branch_of_teller(self, teller_id: int) -> int:
+        return teller_id // self.tellers_per_branch
+
+    def branch_of_account(self, account_id: int) -> int:
+        return account_id // self.accounts_per_branch

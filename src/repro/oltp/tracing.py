@@ -1,0 +1,112 @@
+"""Instrumentation interface between the OLTP engine and the tracer.
+
+The database engine is written against this narrow interface: every
+logically significant action (executing a code path, touching a buffer
+frame, taking a latch, appending redo, making a syscall) is reported
+through one of these hooks.  The trace layer implements them by
+expanding each hook into cache-line references on the current CPU;
+engine unit tests use the :class:`NullTracer`, which ignores
+everything, so the engine can be exercised as a plain in-memory
+transaction processor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class EngineTracer:
+    """No-op base tracer; subclass and override what you need.
+
+    Hook vocabulary
+    ---------------
+    ``on_switch``
+        The engine scheduled a different process (server, daemon or
+        client) onto a CPU; subsequent hooks belong to that process.
+    ``on_code``
+        The process executed a named engine/kernel routine once.
+    ``on_frame``
+        Data access inside a buffer-pool frame (``offset``/``nbytes``
+        within the 2 KB block image).
+    ``on_meta``
+        Access to an SGA metadata structure: ``struct`` names the array
+        ("buf_hash", "buf_header", "lock", "latch", ...), ``index`` the
+        element.
+    ``on_pga``
+        Access to the current process's private memory.
+    ``on_log``
+        Access to the shared redo-log buffer at a byte ``offset``.
+    ``on_syscall``
+        Kernel entry: named kernel path plus optional payload touch.
+
+    ``dependent=True`` marks loads at the head of an address-dependent
+    chain (hash-bucket walks, index traversals) — the out-of-order CPU
+    model cannot overlap those with the previous miss.
+    """
+
+    def on_switch(self, process: "ProcessContext") -> None:
+        """A new process was dispatched; later hooks run on its CPU."""
+
+    def on_code(self, routine: str, units: int = 1) -> None:
+        """The current process executed ``routine`` ``units`` times."""
+
+    def on_frame(
+        self,
+        frame_id: int,
+        offset: int,
+        nbytes: int,
+        write: bool,
+        dependent: bool = False,
+    ) -> None:
+        """Touch bytes inside buffer-pool frame ``frame_id``."""
+
+    def on_meta(
+        self,
+        struct: str,
+        index: int,
+        write: bool,
+        dependent: bool = False,
+    ) -> None:
+        """Touch SGA metadata structure ``struct[index]``."""
+
+    def on_pga(self, offset: int, nbytes: int, write: bool) -> None:
+        """Touch the current process's private (PGA/stack) memory."""
+
+    def on_log(self, offset: int, nbytes: int, write: bool) -> None:
+        """Touch the redo-log buffer at ``offset``."""
+
+    def on_syscall(self, name: str, payload_bytes: int = 0, obj: int = 0) -> None:
+        """Enter the kernel via ``name`` (pipe I/O, disk I/O, yield...).
+
+        ``obj`` identifies the kernel object involved (pipe index,
+        device queue, ...), letting the tracer place the kernel data
+        structures the call touches.
+        """
+
+    def on_txn_boundary(self, committed: int) -> None:
+        """A transaction committed (used for warmup bookkeeping)."""
+
+
+class NullTracer(EngineTracer):
+    """Tracer that records nothing; the engine's default."""
+
+
+class ProcessContext:
+    """Identity of a schedulable process in the simulated system.
+
+    ``kind`` is "server", "client", "lgwr" or "dbwr".  ``cpu`` is the
+    processor the process is bound to for the current dispatch; daemon
+    processes are re-bound round-robin by the engine's scheduler.
+    ``pga_id`` selects the process's private memory region.
+    """
+
+    __slots__ = ("kind", "index", "cpu", "pga_id")
+
+    def __init__(self, kind: str, index: int, cpu: int, pga_id: Optional[int] = None):
+        self.kind = kind
+        self.index = index
+        self.cpu = cpu
+        self.pga_id = pga_id if pga_id is not None else index
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"ProcessContext({self.kind}#{self.index} on cpu{self.cpu})"

@@ -1,0 +1,51 @@
+"""TPC-B transaction profile: generation and parameter rules.
+
+A transaction is submitted from a random teller; the account is drawn
+from the teller's own branch with 85 % probability and from another
+branch otherwise (the TPC-B remote-account rule), and the delta is a
+uniform amount in [-999999, +999999] excluding zero.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.oltp.schema import TpcbScale
+
+#: TPC-B probability that the account belongs to the teller's branch.
+LOCAL_ACCOUNT_PROB = 0.85
+
+#: TPC-B delta magnitude bound.
+MAX_DELTA = 999_999
+
+
+@dataclass(frozen=True)
+class TpcbTransaction:
+    """One banking transaction: who, which account, how much."""
+
+    txn_id: int
+    teller_id: int
+    account_id: int
+    delta: int
+
+    def branch_id(self, scale: TpcbScale) -> int:
+        """The branch debited/credited: the *account's* branch."""
+        return scale.branch_of_account(self.account_id)
+
+
+def generate_transaction(rng: random.Random, scale: TpcbScale, txn_id: int) -> TpcbTransaction:
+    """Draw one transaction according to the TPC-B profile."""
+    teller = rng.randrange(scale.tellers)
+    home_branch = scale.branch_of_teller(teller)
+    if scale.branches == 1 or rng.random() < LOCAL_ACCOUNT_PROB:
+        branch = home_branch
+    else:
+        branch = rng.randrange(scale.branches - 1)
+        if branch >= home_branch:
+            branch += 1
+    account = branch * scale.accounts_per_branch + rng.randrange(scale.accounts_per_branch)
+    delta = rng.randint(1, MAX_DELTA)
+    if rng.random() < 0.5:
+        delta = -delta
+    return TpcbTransaction(txn_id, teller, account, delta)

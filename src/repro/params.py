@@ -1,0 +1,221 @@
+"""Technology parameters and the paper's latency tables.
+
+This module encodes the fixed inputs of the study:
+
+* the Base system parameters from Figure 2 (1 GHz clock, 64 B lines,
+  64 KB 2-way L1 caches, 8 MB direct-mapped off-chip L2, 8 processors),
+* the memory latencies for every integration level from Figure 3, and
+* the remote-access-cache (RAC) latencies from Section 6.
+
+All latencies are in CPU cycles; at the paper's 1 GHz clock one cycle
+equals one nanosecond, so the figures can be read either way.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+KB = 1024
+MB = 1024 * KB
+
+#: Processor clock (Hz).  1 GHz makes cycles == nanoseconds (Figure 3).
+CLOCK_HZ = 1_000_000_000
+
+#: Cache line size in bytes (Figure 2).
+LINE_SIZE = 64
+
+#: log2(LINE_SIZE), used to convert addresses to line numbers.
+LINE_SHIFT = 6
+
+#: Page size used for home-node assignment and code replication (bytes).
+PAGE_SIZE = 8 * KB
+
+#: log2(PAGE_SIZE).
+PAGE_SHIFT = 13
+
+#: Number of processors in the multiprocessor configuration (Figure 2).
+MP_NODES = 8
+
+#: L1 parameters from Figure 2.
+L1_SIZE = 64 * KB
+L1_ASSOC = 2
+
+#: Baseline off-chip L2 from Figure 2.
+BASE_L2_SIZE = 8 * MB
+BASE_L2_ASSOC = 1
+
+#: Server processes per processor (Section 2.1).
+SERVERS_PER_CPU = 8
+
+#: Approximate Alpha instructions represented by one instruction-line fetch.
+#: OLTP code is branchy, so a 64 B line (16 Alpha instructions) yields
+#: roughly half of its instructions per visit.
+INSTRS_PER_ILINE = 8
+
+
+class IntegrationLevel(enum.Enum):
+    """Successive levels of chip-level integration studied by the paper.
+
+    Each level pulls one more system component onto the processor die:
+    the second-level cache data array, then the memory controller, then
+    the coherence controller and network router.
+    """
+
+    CONSERVATIVE_BASE = "conservative-base"
+    BASE = "base"
+    L2 = "l2"
+    L2_MC = "l2+mc"
+    FULL = "l2+mc+cc/nr"
+
+    @property
+    def l2_on_chip(self) -> bool:
+        return self in (IntegrationLevel.L2, IntegrationLevel.L2_MC, IntegrationLevel.FULL)
+
+    @property
+    def mc_on_chip(self) -> bool:
+        return self in (IntegrationLevel.L2_MC, IntegrationLevel.FULL)
+
+    @property
+    def cc_on_chip(self) -> bool:
+        return self is IntegrationLevel.FULL
+
+
+class L2Technology(enum.Enum):
+    """Storage technology of the L2 data array.
+
+    Off-chip caches are external SRAM.  On-chip caches can use SRAM
+    (fast, ~2 MB in 0.18 um) or embedded DRAM (slower, ~8 MB).
+    """
+
+    OFF_CHIP_SRAM = "off-chip-sram"
+    ON_CHIP_SRAM = "on-chip-sram"
+    ON_CHIP_DRAM = "on-chip-dram"
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Miss-service latencies in cycles for one machine configuration.
+
+    Mirrors one row of Figure 3.  ``l2_hit`` is the load-to-use latency
+    of a hit in the second-level cache; ``local`` is a miss served by
+    the node's own memory; ``remote_clean`` is a two-hop miss served by
+    a remote home node; ``remote_dirty`` is a three-hop miss served by a
+    dirty copy in another processor's cache.
+
+    ``remote_upgrade`` is the data-less ownership round-trip to a
+    remote home directory.  It tracks ``remote_clean`` except in the
+    L2+MC configuration: the Section-4 penalty on 2-hop accesses exists
+    because the separated coherence controller must cross the system
+    bus to fetch data *from memory*, which an upgrade never does.
+    """
+
+    l2_hit: int
+    local: int
+    remote_clean: int
+    remote_dirty: int
+    remote_upgrade: int = -1
+
+    def __post_init__(self):
+        if self.remote_upgrade < 0:
+            object.__setattr__(self, "remote_upgrade", self.remote_clean)
+
+    def for_miss(self, kind: "MissKind") -> int:
+        """Latency in cycles to service an L2 miss of the given kind."""
+        if kind is MissKind.LOCAL:
+            return self.local
+        if kind is MissKind.REMOTE_CLEAN:
+            return self.remote_clean
+        if kind is MissKind.REMOTE_DIRTY:
+            return self.remote_dirty
+        raise ValueError(f"not an L2 miss kind: {kind}")
+
+
+class MissKind(enum.Enum):
+    """Where an L2 miss was serviced from (the paper's miss taxonomy)."""
+
+    LOCAL = "local"
+    REMOTE_CLEAN = "remote-clean"  # 2-hop: home memory of another node
+    REMOTE_DIRTY = "remote-dirty"  # 3-hop: dirty copy in a remote cache
+
+
+#: Figure 3, verbatim.  Keys are (integration level, direct_mapped flag,
+#: L2 technology); only the combinations the paper defines are present.
+_FIGURE3 = {
+    # Conservative Base: everything off-chip, unoptimized memory system.
+    (IntegrationLevel.CONSERVATIVE_BASE, None): LatencyTable(30, 150, 225, 325),
+    # Base, direct-mapped off-chip L2 (wave-pipelined SRAM).
+    (IntegrationLevel.BASE, True): LatencyTable(25, 100, 175, 275),
+    # Base, set-associative off-chip L2 (external set selection costs 5).
+    (IntegrationLevel.BASE, False): LatencyTable(30, 100, 175, 275),
+    # Integrated L2, SRAM array.
+    (IntegrationLevel.L2, L2Technology.ON_CHIP_SRAM): LatencyTable(15, 100, 175, 275),
+    # Integrated L2, embedded-DRAM array (larger but slower).
+    (IntegrationLevel.L2, L2Technology.ON_CHIP_DRAM): LatencyTable(25, 100, 175, 275),
+    # L2 + memory controller integrated; the CC is now separated from the
+    # MC, so remote (2-hop) memory fetches get *more* expensive
+    # (Section 4) — data-less upgrades keep the Base round-trip.
+    (IntegrationLevel.L2_MC, None): LatencyTable(15, 75, 225, 275, remote_upgrade=175),
+    # Full integration (Alpha 21364 style).
+    (IntegrationLevel.FULL, None): LatencyTable(15, 75, 150, 200),
+}
+
+#: Extra cycles over an L2 hit to swap a line back from the on-chip
+#: L2 victim buffer (tag check plus array swap; extension, not paper).
+VICTIM_HIT_EXTRA = 4
+
+#: Cycles for a software TLB fill (Alpha refills its TLB in PALcode;
+#: the fill runs real instructions, so it is charged as kernel busy
+#: time).  Extension, not modelled by the paper's figures.
+TLB_WALK_CYCLES = 40
+
+#: RAC hit latency (same as local memory, Section 6).
+RAC_HIT_LATENCY = 75
+
+#: Fetching dirty data out of a *remote node's RAC* (Section 6).
+RAC_REMOTE_DIRTY_LATENCY = 250
+
+
+def latencies(
+    level: IntegrationLevel,
+    *,
+    l2_assoc: int = 1,
+    l2_technology: L2Technology = L2Technology.OFF_CHIP_SRAM,
+) -> LatencyTable:
+    """Look up the Figure-3 latency row for a configuration.
+
+    ``l2_assoc`` only matters for off-chip caches (associative external
+    SRAM pays 5 extra cycles for set selection).  ``l2_technology``
+    only matters for the on-chip-L2 level, where SRAM and embedded DRAM
+    differ in hit latency.
+    """
+    if level is IntegrationLevel.CONSERVATIVE_BASE:
+        return _FIGURE3[(level, None)]
+    if level is IntegrationLevel.BASE:
+        return _FIGURE3[(level, l2_assoc == 1)]
+    if level is IntegrationLevel.L2:
+        if l2_technology is L2Technology.OFF_CHIP_SRAM:
+            l2_technology = L2Technology.ON_CHIP_SRAM
+        return _FIGURE3[(level, l2_technology)]
+    base = _FIGURE3[(level, None)]
+    if l2_technology is L2Technology.ON_CHIP_DRAM:
+        # DRAM arrays keep their slower hit time at deeper integration
+        # levels too; the rest of the row is unchanged.
+        return LatencyTable(
+            25, base.local, base.remote_clean, base.remote_dirty,
+            remote_upgrade=base.remote_upgrade,
+        )
+    return base
+
+
+def figure3_rows():
+    """All (label, LatencyTable) rows of Figure 3, in paper order."""
+    return [
+        ("Conservative Base", _FIGURE3[(IntegrationLevel.CONSERVATIVE_BASE, None)]),
+        ("Base, 1-way L2", _FIGURE3[(IntegrationLevel.BASE, True)]),
+        ("Base, n-way L2", _FIGURE3[(IntegrationLevel.BASE, False)]),
+        ("L2 integrated, SRAM L2", _FIGURE3[(IntegrationLevel.L2, L2Technology.ON_CHIP_SRAM)]),
+        ("L2 integrated, DRAM L2", _FIGURE3[(IntegrationLevel.L2, L2Technology.ON_CHIP_DRAM)]),
+        ("L2, MC integrated", _FIGURE3[(IntegrationLevel.L2_MC, None)]),
+        ("L2, MC, CC/NR integrated", _FIGURE3[(IntegrationLevel.FULL, None)]),
+    ]

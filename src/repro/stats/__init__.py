@@ -1,0 +1,17 @@
+"""Measurement containers used across the simulator and experiments."""
+
+from repro.stats.breakdown import (
+    ExecutionBreakdown,
+    L1Stats,
+    MissBreakdown,
+    ProtocolStats,
+    RacStats,
+)
+
+__all__ = [
+    "ExecutionBreakdown",
+    "L1Stats",
+    "MissBreakdown",
+    "ProtocolStats",
+    "RacStats",
+]

@@ -1,0 +1,205 @@
+"""Execution-time breakdowns in the paper's reporting categories.
+
+Every figure in the paper splits non-idle execution time into CPU
+(busy), L2-hit, local-memory-stall and remote-memory-stall components,
+and splits L2 misses by instruction/data and by where they were
+serviced.  These dataclasses are the canonical containers for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import MissKind
+
+
+@dataclass
+class ExecutionBreakdown:
+    """Cycle counts per execution-time component for one CPU (or summed).
+
+    ``busy`` includes both user and kernel instruction execution;
+    ``kernel_busy`` is the kernel share of it (tracked so runs can be
+    validated against the paper's ~25 % kernel time).
+    """
+
+    busy: float = 0.0
+    kernel_busy: float = 0.0
+    l2_hit: float = 0.0
+    local_stall: float = 0.0
+    remote_clean_stall: float = 0.0
+    remote_dirty_stall: float = 0.0
+
+    @property
+    def remote_stall(self) -> float:
+        return self.remote_clean_stall + self.remote_dirty_stall
+
+    @property
+    def total(self) -> float:
+        return self.busy + self.l2_hit + self.local_stall + self.remote_stall
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Busy fraction of total time (the paper quotes ~17 % for Base MP)."""
+        total = self.total
+        return self.busy / total if total else 0.0
+
+    def add(self, other: "ExecutionBreakdown") -> None:
+        self.busy += other.busy
+        self.kernel_busy += other.kernel_busy
+        self.l2_hit += other.l2_hit
+        self.local_stall += other.local_stall
+        self.remote_clean_stall += other.remote_clean_stall
+        self.remote_dirty_stall += other.remote_dirty_stall
+
+    def normalized_to(self, baseline_total: float) -> "ExecutionBreakdown":
+        """Rescale so that ``baseline_total`` maps to 100 units."""
+        if baseline_total <= 0:
+            raise ValueError("baseline total must be positive")
+        f = 100.0 / baseline_total
+        return ExecutionBreakdown(
+            busy=self.busy * f,
+            kernel_busy=self.kernel_busy * f,
+            l2_hit=self.l2_hit * f,
+            local_stall=self.local_stall * f,
+            remote_clean_stall=self.remote_clean_stall * f,
+            remote_dirty_stall=self.remote_dirty_stall * f,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "CPU": self.busy,
+            "L2Hit": self.l2_hit,
+            "LocStall": self.local_stall,
+            "RemStall": self.remote_stall,
+            "total": self.total,
+        }
+
+
+@dataclass
+class MissBreakdown:
+    """L2 miss counts in the paper's five categories.
+
+    The uniprocessor figures collapse this to instruction vs data; the
+    multiprocessor figures use all five (I-Loc, I-Rem, D-Loc,
+    D-RemClean, D-RemDirty).  RAC hits count as *local* misses — the
+    paper's Figure 11 shows the RAC changing the mix, not the total.
+    """
+
+    i_local: int = 0
+    i_remote: int = 0
+    d_local: int = 0
+    d_remote_clean: int = 0
+    d_remote_dirty: int = 0
+
+    @property
+    def instruction(self) -> int:
+        return self.i_local + self.i_remote
+
+    @property
+    def data(self) -> int:
+        return self.d_local + self.d_remote_clean + self.d_remote_dirty
+
+    @property
+    def total(self) -> int:
+        return self.instruction + self.data
+
+    @property
+    def remote(self) -> int:
+        return self.i_remote + self.d_remote_clean + self.d_remote_dirty
+
+    @property
+    def dirty_share(self) -> float:
+        """Fraction of all misses that are 3-hop (paper: >50 % at 8 MB MP)."""
+        return self.d_remote_dirty / self.total if self.total else 0.0
+
+    def record(self, kind: MissKind, is_instr: bool) -> None:
+        if is_instr:
+            if kind is MissKind.LOCAL:
+                self.i_local += 1
+            else:
+                # Instruction lines are read-only, so 3-hop I-misses do
+                # not arise; fold any remote service into I-Rem.
+                self.i_remote += 1
+        elif kind is MissKind.LOCAL:
+            self.d_local += 1
+        elif kind is MissKind.REMOTE_CLEAN:
+            self.d_remote_clean += 1
+        else:
+            self.d_remote_dirty += 1
+
+    def add(self, other: "MissBreakdown") -> None:
+        self.i_local += other.i_local
+        self.i_remote += other.i_remote
+        self.d_local += other.d_local
+        self.d_remote_clean += other.d_remote_clean
+        self.d_remote_dirty += other.d_remote_dirty
+
+    def normalized_to(self, baseline_total: float) -> dict:
+        """Each category scaled so the baseline's total is 100 units."""
+        if baseline_total <= 0:
+            raise ValueError("baseline total must be positive")
+        f = 100.0 / baseline_total
+        return {
+            "I-Loc": self.i_local * f,
+            "I-Rem": self.i_remote * f,
+            "D-Loc": self.d_local * f,
+            "D-RemClean": self.d_remote_clean * f,
+            "D-RemDirty": self.d_remote_dirty * f,
+            "total": self.total * f,
+        }
+
+    def as_dict(self) -> dict:
+        return {
+            "I-Loc": self.i_local,
+            "I-Rem": self.i_remote,
+            "D-Loc": self.d_local,
+            "D-RemClean": self.d_remote_clean,
+            "D-RemDirty": self.d_remote_dirty,
+            "total": self.total,
+        }
+
+
+@dataclass
+class ProtocolStats:
+    """Aggregate coherence-activity counters for a run."""
+
+    upgrades: int = 0
+    invalidations: int = 0
+    writebacks: int = 0
+    interventions: int = 0
+    writes: int = 0
+
+    @property
+    def invalidations_per_write(self) -> float:
+        """Paper, Section 6: ~1-in-6 without a RAC, ~1-in-3 with one."""
+        return self.invalidations / self.writes if self.writes else 0.0
+
+
+@dataclass
+class RacStats:
+    """Remote-access-cache effectiveness for a run."""
+
+    probes: int = 0
+    hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.probes if self.probes else 0.0
+
+
+@dataclass
+class L1Stats:
+    """First-level cache activity (for footprint sanity checks)."""
+
+    i_refs: int = 0
+    i_misses: int = 0
+    d_refs: int = 0
+    d_misses: int = 0
+
+    @property
+    def i_miss_rate(self) -> float:
+        return self.i_misses / self.i_refs if self.i_refs else 0.0
+
+    @property
+    def d_miss_rate(self) -> float:
+        return self.d_misses / self.d_refs if self.d_refs else 0.0

@@ -1,0 +1,35 @@
+"""Trace layer: address spaces, code paths, and trace generation."""
+
+from repro.trace.address_space import MemoryModel, Region
+from repro.trace.census import (
+    MissAttribution,
+    TraceCensus,
+    attribute_misses,
+    census,
+    rebuild_model,
+)
+from repro.trace.codepath import CodeModel, UnknownRoutineError
+from repro.trace.generator import OltpTrace, TraceBuilder, TraceQuantum, build_trace
+from repro.trace.storage import load_trace, save_trace
+from repro.trace.synthetic import make_trace, pingpong_trace, sweep_refs
+
+__all__ = [
+    "MemoryModel",
+    "Region",
+    "MissAttribution",
+    "TraceCensus",
+    "attribute_misses",
+    "census",
+    "rebuild_model",
+    "CodeModel",
+    "UnknownRoutineError",
+    "OltpTrace",
+    "TraceBuilder",
+    "TraceQuantum",
+    "build_trace",
+    "load_trace",
+    "save_trace",
+    "make_trace",
+    "pingpong_trace",
+    "sweep_refs",
+]

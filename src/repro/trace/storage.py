@@ -1,0 +1,94 @@
+"""Save and load traces as compressed ``.npz`` archives.
+
+Workload generation is cheap relative to a full figure sweep, but
+saving traces lets long experiments (and other tools) replay exactly
+the same workload across processes and machines.  The format packs all
+quanta into three parallel arrays (cpu ids, offsets, references) plus
+a JSON metadata blob; loading reconstructs a fully functional
+:class:`~repro.trace.generator.OltpTrace`.
+"""
+
+from __future__ import annotations
+
+import json
+from array import array
+from dataclasses import asdict
+from typing import Union
+
+import numpy as np
+
+from repro.oltp.config import WorkloadConfig
+from repro.oltp.engine import EngineStats
+from repro.oltp.schema import TpcbScale
+from repro.trace.generator import OltpTrace, TraceQuantum
+
+#: Format version written into every archive.
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: OltpTrace, path: Union[str, "object"]) -> None:
+    """Write ``trace`` to ``path`` as a compressed npz archive."""
+    cpus = np.fromiter((q.cpu for q in trace.quanta), dtype=np.int32,
+                       count=len(trace.quanta))
+    lengths = np.fromiter((len(q.refs) for q in trace.quanta), dtype=np.int64,
+                          count=len(trace.quanta))
+    offsets = np.zeros(len(trace.quanta) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    refs = np.empty(int(offsets[-1]), dtype=np.int64)
+    for i, q in enumerate(trace.quanta):
+        refs[offsets[i]:offsets[i + 1]] = q.refs
+
+    config = asdict(trace.config)
+    tpcb = config.pop("tpcb")
+    meta = {
+        "format": FORMAT_VERSION,
+        "ncpus": trace.ncpus,
+        "scale": trace.scale,
+        "page_bytes": trace.page_bytes,
+        "warmup_quanta": trace.warmup_quanta,
+        "measured_txns": trace.measured_txns,
+        "engine_stats": asdict(trace.engine_stats),
+        "config": config,
+        "tpcb": tpcb,
+    }
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        cpus=cpus,
+        offsets=offsets,
+        refs=refs,
+        text_pages=np.array(sorted(trace.text_pages), dtype=np.int64),
+    )
+
+
+def load_trace(path: Union[str, "object"]) -> OltpTrace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        if meta.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format {meta.get('format')!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        cpus = data["cpus"]
+        offsets = data["offsets"]
+        refs = data["refs"]
+        text_pages = frozenset(int(p) for p in data["text_pages"])
+
+    quanta = [
+        TraceQuantum(int(cpus[i]),
+                     array("q", refs[offsets[i]:offsets[i + 1]].tolist()))
+        for i in range(len(cpus))
+    ]
+    config = WorkloadConfig(tpcb=TpcbScale(**meta["tpcb"]), **meta["config"])
+    return OltpTrace(
+        ncpus=meta["ncpus"],
+        scale=meta["scale"],
+        page_bytes=meta["page_bytes"],
+        text_pages=text_pages,
+        quanta=quanta,
+        warmup_quanta=meta["warmup_quanta"],
+        measured_txns=meta["measured_txns"],
+        engine_stats=EngineStats(**meta["engine_stats"]),
+        config=config,
+    )

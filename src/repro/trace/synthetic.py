@@ -1,0 +1,65 @@
+"""Hand-built traces for tests and controlled experiments.
+
+The OLTP trace generator produces realistic but complicated streams;
+when testing the simulator itself it is far more useful to construct
+tiny traces with exactly known sharing patterns (a line ping-ponging
+between two CPUs, a read-only broadcast line, a private sweep) and
+assert the resulting miss classification and latency charges.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.cpu.events import encode
+from repro.trace.generator import OltpTrace, TraceQuantum
+
+
+def make_trace(
+    ncpus: int,
+    quanta: Sequence[Tuple[int, Iterable[int]]],
+    *,
+    page_bytes: int = 256,
+    text_pages: frozenset = frozenset(),
+    warmup_quanta: int = 0,
+    measured_txns: int = 0,
+    scale: int = 1,
+) -> OltpTrace:
+    """Build a replayable trace from (cpu, encoded-refs) pairs.
+
+    Encode references with :func:`repro.cpu.events.encode`.
+    """
+    packed: List[TraceQuantum] = [
+        TraceQuantum(cpu, array("q", list(refs))) for cpu, refs in quanta
+    ]
+    for q in packed:
+        if not 0 <= q.cpu < ncpus:
+            raise ValueError(f"quantum CPU {q.cpu} out of range for {ncpus} CPUs")
+    return OltpTrace(
+        ncpus=ncpus,
+        scale=scale,
+        page_bytes=page_bytes,
+        text_pages=text_pages,
+        quanta=packed,
+        warmup_quanta=warmup_quanta,
+        measured_txns=measured_txns,
+        engine_stats=None,
+        config=None,
+    )
+
+
+def sweep_refs(start_line: int, nlines: int, *, write: bool = False,
+               instr: bool = False) -> List[int]:
+    """Encoded sequential sweep over ``nlines`` lines."""
+    return [encode(start_line + i, write=write, instr=instr) for i in range(nlines)]
+
+
+def pingpong_trace(line: int, rounds: int, *, ncpus: int = 2,
+                   page_bytes: int = 256) -> OltpTrace:
+    """Two CPUs alternately writing one line: pure migratory sharing."""
+    quanta = []
+    for r in range(rounds):
+        cpu = r % ncpus
+        quanta.append((cpu, [encode(line, write=True)]))
+    return make_trace(ncpus, quanta, page_bytes=page_bytes)

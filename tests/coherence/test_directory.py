@@ -1,0 +1,126 @@
+"""Tests for directory state transitions and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coherence.directory import DirectoryState
+
+
+class TestBasicTransitions:
+    def test_unowned_by_default(self):
+        d = DirectoryState()
+        assert d.owner(1) is None
+        assert d.sharers(1) == frozenset()
+        assert not d.is_cached(1)
+
+    def test_add_sharer(self):
+        d = DirectoryState()
+        d.add_sharer(1, 2)
+        d.add_sharer(1, 3)
+        assert d.sharers(1) == {2, 3}
+        assert d.owner(1) is None
+        assert d.is_cached_by(1, 2)
+
+    def test_set_owner_clears_other_sharers(self):
+        d = DirectoryState()
+        d.add_sharer(1, 2)
+        d.add_sharer(1, 3)
+        d.set_owner(1, 4)
+        assert d.owner(1) == 4
+        assert d.sharers(1) == {4}
+
+    def test_clear_owner_demotes_to_sharer(self):
+        d = DirectoryState()
+        d.set_owner(1, 4)
+        d.clear_owner(1)
+        assert d.owner(1) is None
+        assert d.sharers(1) == {4}
+
+    def test_remove_node(self):
+        d = DirectoryState()
+        d.add_sharer(1, 2)
+        d.add_sharer(1, 3)
+        d.remove_node(1, 2)
+        assert d.sharers(1) == {3}
+
+    def test_remove_last_sharer_uncaches_line(self):
+        d = DirectoryState()
+        d.add_sharer(1, 2)
+        d.remove_node(1, 2)
+        assert not d.is_cached(1)
+        assert d.tracked_lines() == 0
+
+    def test_remove_owner_clears_ownership(self):
+        d = DirectoryState()
+        d.set_owner(1, 2)
+        d.remove_node(1, 2)
+        assert d.owner(1) is None
+        assert not d.is_cached(1)
+
+    def test_remove_absent_node_is_noop(self):
+        d = DirectoryState()
+        d.remove_node(1, 7)  # no error
+        d.add_sharer(1, 2)
+        d.remove_node(1, 7)
+        assert d.sharers(1) == {2}
+
+
+class TestInvalidateOthers:
+    def test_keeps_keeper(self):
+        d = DirectoryState()
+        for node in (1, 2, 3):
+            d.add_sharer(9, node)
+        removed = d.invalidate_others(9, keeper=2)
+        assert removed == 2
+        assert d.sharers(9) == {2}
+
+    def test_keeper_not_present(self):
+        d = DirectoryState()
+        d.add_sharer(9, 1)
+        removed = d.invalidate_others(9, keeper=5)
+        assert removed == 1
+        assert not d.is_cached(9)
+
+    def test_uncached_line(self):
+        d = DirectoryState()
+        assert d.invalidate_others(9, keeper=0) == 0
+
+    def test_removes_foreign_owner(self):
+        d = DirectoryState()
+        d.set_owner(9, 1)
+        d.add_sharer(9, 2)  # unusual but legal transitional state
+        d.invalidate_others(9, keeper=2)
+        assert d.owner(9) is None
+        assert d.sharers(9) == {2}
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["add", "own", "clear", "remove", "invother"]),
+            st.integers(0, 3),   # line
+            st.integers(0, 3),   # node
+        ),
+        max_size=120,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_invariants_hold_under_random_ops(ops):
+    d = DirectoryState()
+    for op, line, node in ops:
+        if op == "add":
+            d.add_sharer(line, node)
+        elif op == "own":
+            d.set_owner(line, node)
+        elif op == "clear":
+            d.clear_owner(line)
+        elif op == "remove":
+            d.remove_node(line, node)
+        else:
+            d.invalidate_others(line, node)
+        d.check_invariants()
+        # Owner, when present, is the only sharer after set_owner; in
+        # general the owner must always be a sharer.
+        owner = d.owner(line)
+        if owner is not None:
+            assert owner in d.sharers(line)

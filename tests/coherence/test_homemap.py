@@ -1,0 +1,56 @@
+"""Tests for home-node assignment and code replication."""
+
+import pytest
+
+from repro.coherence.homemap import HomeMap
+
+
+class TestRoundRobin:
+    def test_pages_distribute_round_robin(self):
+        hm = HomeMap(4, page_bytes=256)  # 4 lines per page
+        homes = [hm.home_of(line) for line in range(0, 64, 4)]
+        assert homes == [i % 4 for i in range(16)]
+
+    def test_lines_within_page_share_home(self):
+        hm = HomeMap(4, page_bytes=256)
+        assert len({hm.home_of(line) for line in range(4)}) == 1
+
+    def test_uniprocessor_all_local(self):
+        hm = HomeMap(1, page_bytes=256)
+        assert all(hm.is_local(line, 0) for line in range(100))
+
+    def test_local_fraction_roughly_one_over_n(self):
+        hm = HomeMap(8, page_bytes=512)
+        lines = range(0, 8 * 512 // 64 * 50, 1)
+        local = sum(hm.is_local(line, 3) for line in lines)
+        assert abs(local / len(lines) - 1 / 8) < 0.01
+
+
+class TestReplication:
+    def test_replicated_lines_are_always_local(self):
+        text = {1, 2, 3}
+        hm = HomeMap(8, page_bytes=256, replicated=lambda line: line in text)
+        for node in range(8):
+            for line in text:
+                assert hm.home_of(line, node) == node
+                assert hm.is_local(line, node)
+
+    def test_non_replicated_lines_unaffected(self):
+        hm_plain = HomeMap(8, page_bytes=256)
+        hm_repl = HomeMap(8, page_bytes=256, replicated=lambda line: False)
+        for line in range(0, 200, 7):
+            assert hm_plain.home_of(line, 2) == hm_repl.home_of(line, 2)
+
+
+class TestValidation:
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            HomeMap(0)
+
+    def test_rejects_sub_line_page(self):
+        with pytest.raises(ValueError):
+            HomeMap(2, page_bytes=32)
+
+    def test_rejects_non_power_of_two_line_count(self):
+        with pytest.raises(ValueError):
+            HomeMap(2, page_bytes=192)  # 3 lines per page

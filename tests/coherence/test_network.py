@@ -1,0 +1,73 @@
+"""Tests for the interconnect latency model."""
+
+from repro.coherence.network import InterconnectModel
+from repro.coherence.protocol import ServiceOutcome
+from repro.params import (
+    RAC_HIT_LATENCY,
+    RAC_REMOTE_DIRTY_LATENCY,
+    IntegrationLevel,
+    MissKind,
+    latencies,
+)
+
+BASE = latencies(IntegrationLevel.BASE, l2_assoc=1)
+L2MC = latencies(IntegrationLevel.L2_MC)
+FULL = latencies(IntegrationLevel.FULL)
+
+
+def test_local_latency():
+    net = InterconnectModel(BASE)
+    assert net.service_latency(ServiceOutcome(MissKind.LOCAL)) == BASE.local
+    assert net.counters.local_requests == 1
+
+
+def test_remote_clean_latency():
+    net = InterconnectModel(BASE)
+    assert net.service_latency(ServiceOutcome(MissKind.REMOTE_CLEAN)) == 175
+    assert net.counters.requests_2hop == 1
+
+
+def test_remote_dirty_latency():
+    net = InterconnectModel(BASE)
+    assert net.service_latency(ServiceOutcome(MissKind.REMOTE_DIRTY)) == 275
+    assert net.counters.requests_3hop == 1
+
+
+def test_rac_hit_is_local_memory_speed():
+    net = InterconnectModel(FULL)
+    out = ServiceOutcome(MissKind.LOCAL, via_rac=True)
+    assert net.service_latency(out) == RAC_HIT_LATENCY
+
+
+def test_dirty_from_remote_rac_pays_extra():
+    net = InterconnectModel(FULL)
+    out = ServiceOutcome(MissKind.REMOTE_DIRTY, from_remote_rac=True)
+    assert net.service_latency(out) == FULL.remote_dirty + (RAC_REMOTE_DIRTY_LATENCY - 200)
+
+
+def test_upgrade_uses_upgrade_latency_in_l2mc():
+    net = InterconnectModel(L2MC)
+    data = ServiceOutcome(MissKind.REMOTE_CLEAN)
+    upgrade = ServiceOutcome(MissKind.REMOTE_CLEAN, upgrade=True)
+    assert net.service_latency(data) == 225      # memory fetch penalized
+    assert net.service_latency(upgrade) == 175   # data-less: Base path
+
+
+def test_upgrade_matches_remote_clean_elsewhere():
+    for table in (BASE, FULL):
+        net = InterconnectModel(table)
+        upgrade = ServiceOutcome(MissKind.REMOTE_CLEAN, upgrade=True)
+        assert net.service_latency(upgrade) == table.remote_clean
+
+
+def test_invalidations_counted():
+    net = InterconnectModel(BASE)
+    net.service_latency(ServiceOutcome(MissKind.LOCAL, invalidations=3))
+    assert net.counters.invalidations == 3
+
+
+def test_counters_as_dict():
+    net = InterconnectModel(BASE)
+    net.service_latency(ServiceOutcome(MissKind.REMOTE_CLEAN))
+    d = net.counters.as_dict()
+    assert d["2hop"] == 1 and d["3hop"] == 0

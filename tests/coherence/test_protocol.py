@@ -1,0 +1,244 @@
+"""Protocol engine tests: miss classification, interventions, RAC."""
+
+import pytest
+
+from repro.coherence.homemap import HomeMap
+from repro.coherence.protocol import DirectoryProtocol
+from repro.memsys.hierarchy import NodeCaches
+from repro.memsys.rac import RemoteAccessCache
+from repro.params import MissKind
+
+PAGE = 256  # 4 lines per page
+
+# With 4 nodes and 4-line pages: lines 0..3 home 0, 4..7 home 1, etc.
+LINE_HOME0 = 0
+LINE_HOME1 = 4
+LINE_HOME2 = 8
+
+
+def build(nnodes=4, racs=False, l2_size=4096, l2_assoc=2):
+    nodes = [
+        NodeCaches(l2_size, l2_assoc, l1_size=512, l1_assoc=2, node_id=i)
+        for i in range(nnodes)
+    ]
+    rac_list = [RemoteAccessCache(2048, 2, node_id=i) for i in range(nnodes)] if racs else None
+    protocol = DirectoryProtocol(HomeMap(nnodes, PAGE), nodes, rac_list)
+    return protocol, nodes, rac_list
+
+
+def miss(protocol, nodes, node, line, write=False, instr=False):
+    """Mimic the simulator: fill caches, notify protocol of evictions."""
+    result = nodes[node].access(line, write, instr)
+    if result.victim is not None:
+        protocol.handle_eviction(node, result.victim, result.victim_dirty)
+    return protocol.service_miss(node, line, write, instr)
+
+
+class TestReadClassification:
+    def test_local_read(self):
+        p, n, _ = build()
+        out = miss(p, n, 0, LINE_HOME0)
+        assert out.kind is MissKind.LOCAL
+
+    def test_remote_clean_read(self):
+        p, n, _ = build()
+        out = miss(p, n, 0, LINE_HOME1)
+        assert out.kind is MissKind.REMOTE_CLEAN
+
+    def test_remote_dirty_read_3hop(self):
+        p, n, _ = build()
+        miss(p, n, 1, LINE_HOME2, write=True)   # node 1 dirties the line
+        out = miss(p, n, 0, LINE_HOME2)
+        assert out.kind is MissKind.REMOTE_DIRTY
+        # The owner was downgraded, not invalidated.
+        assert n[1].holds(LINE_HOME2)
+        assert not n[1].holds_dirty(LINE_HOME2)
+
+    def test_dirty_at_home_node_is_still_3hop(self):
+        # Line homed at 2, dirty in node 1's cache, requested by node 0:
+        # the data comes from node 1's cache regardless of the home.
+        p, n, _ = build()
+        miss(p, n, 1, LINE_HOME2, write=True)
+        out = miss(p, n, 0, LINE_HOME2)
+        assert out.kind is MissKind.REMOTE_DIRTY
+
+    def test_read_after_sharing_writeback_is_2hop(self):
+        p, n, _ = build()
+        miss(p, n, 1, LINE_HOME2, write=True)
+        miss(p, n, 0, LINE_HOME2)            # 3-hop; data written back home
+        out = miss(p, n, 3, LINE_HOME2)      # now clean at home
+        assert out.kind is MissKind.REMOTE_CLEAN
+
+    def test_dirty_read_at_own_home(self):
+        # Node 0 reads its own home line that node 1 holds dirty: still
+        # a 3-hop service (the paper's dirty-miss class).
+        p, n, _ = build()
+        miss(p, n, 1, LINE_HOME0, write=True)
+        out = miss(p, n, 0, LINE_HOME0)
+        assert out.kind is MissKind.REMOTE_DIRTY
+
+
+class TestWriteClassification:
+    def test_write_invalidate_sharers(self):
+        p, n, _ = build()
+        miss(p, n, 1, LINE_HOME0)
+        miss(p, n, 2, LINE_HOME0)
+        out = miss(p, n, 0, LINE_HOME0, write=True)
+        assert out.kind is MissKind.LOCAL
+        assert out.invalidations == 2
+        assert not n[1].holds(LINE_HOME0)
+        assert not n[2].holds(LINE_HOME0)
+        assert p.directory.owner(LINE_HOME0) == 0
+
+    def test_write_miss_to_dirty_remote(self):
+        p, n, _ = build()
+        miss(p, n, 1, LINE_HOME2, write=True)
+        out = miss(p, n, 0, LINE_HOME2, write=True)
+        assert out.kind is MissKind.REMOTE_DIRTY
+        assert out.invalidations == 1
+        assert not n[1].holds(LINE_HOME2)
+
+    def test_migratory_pingpong_is_all_3hop(self):
+        p, n, _ = build()
+        miss(p, n, 0, LINE_HOME2, write=True)
+        for turn in range(1, 6):
+            node = turn % 2
+            out = miss(p, n, node, LINE_HOME2, write=True)
+            assert out.kind is MissKind.REMOTE_DIRTY
+
+
+class TestUpgrades:
+    def test_already_owner_returns_none(self):
+        p, n, _ = build()
+        miss(p, n, 0, LINE_HOME0, write=True)
+        assert p.ensure_owner(0, LINE_HOME0) is None
+
+    def test_upgrade_from_shared(self):
+        p, n, _ = build()
+        miss(p, n, 0, LINE_HOME0)
+        miss(p, n, 1, LINE_HOME0)
+        out = p.ensure_owner(0, LINE_HOME0)
+        assert out is not None and out.upgrade
+        assert out.kind is MissKind.LOCAL  # home is node 0
+        assert out.invalidations == 1
+        assert p.directory.owner(LINE_HOME0) == 0
+        assert not n[1].holds(LINE_HOME0)
+
+    def test_upgrade_remote_home(self):
+        p, n, _ = build()
+        miss(p, n, 0, LINE_HOME1)
+        out = p.ensure_owner(0, LINE_HOME1)
+        assert out.kind is MissKind.REMOTE_CLEAN and out.upgrade
+
+    def test_upgrade_counter(self):
+        p, n, _ = build()
+        miss(p, n, 0, LINE_HOME1)
+        p.ensure_owner(0, LINE_HOME1)
+        assert p.upgrades == 1
+
+
+class TestEvictions:
+    def test_eviction_removes_directory_presence(self):
+        p, n, _ = build()
+        miss(p, n, 0, LINE_HOME1)
+        n[0].invalidate(LINE_HOME1)
+        p.handle_eviction(0, LINE_HOME1, dirty=False)
+        assert not p.directory.is_cached(LINE_HOME1)
+
+    def test_dirty_eviction_counts_writeback(self):
+        p, n, _ = build()
+        miss(p, n, 0, LINE_HOME1, write=True)
+        n[0].invalidate(LINE_HOME1)
+        p.handle_eviction(0, LINE_HOME1, dirty=True)
+        assert p.writebacks == 1
+
+    def test_read_after_dirty_eviction_is_clean(self):
+        p, n, _ = build()
+        miss(p, n, 0, LINE_HOME1, write=True)
+        n[0].invalidate(LINE_HOME1)
+        p.handle_eviction(0, LINE_HOME1, dirty=True)
+        out = miss(p, n, 2, LINE_HOME1)
+        assert out.kind is MissKind.REMOTE_CLEAN
+
+    def test_directory_matches_caches_after_traffic(self):
+        p, n, _ = build(l2_size=512, l2_assoc=1)  # tiny L2 forces evictions
+        lines = [LINE_HOME0, LINE_HOME1, LINE_HOME2, 12, 16, 20, 24]
+        for step in range(60):
+            node = step % 4
+            line = lines[step % len(lines)]
+            result = n[node].access(line, step % 3 == 0, False)
+            if result.victim is not None:
+                p.handle_eviction(node, result.victim, result.victim_dirty)
+            if result.level.value == "miss":
+                p.service_miss(node, line, step % 3 == 0, False)
+            elif step % 3 == 0:
+                p.ensure_owner(node, line)
+        p.check_consistency()
+
+
+class TestRac:
+    def test_remote_fill_allocates_in_rac(self):
+        p, n, racs = build(racs=True)
+        miss(p, n, 0, LINE_HOME1)
+        assert racs[0].holds(LINE_HOME1)
+
+    def test_local_fill_does_not_touch_rac(self):
+        p, n, racs = build(racs=True)
+        miss(p, n, 0, LINE_HOME0)
+        assert not racs[0].holds(LINE_HOME0)
+        assert racs[0].probes == 0
+
+    def test_rac_hit_after_l2_eviction(self):
+        p, n, racs = build(racs=True)
+        miss(p, n, 0, LINE_HOME1)
+        # L2 loses the line but the RAC keeps it: node retains presence.
+        n[0].invalidate(LINE_HOME1)
+        p.handle_eviction(0, LINE_HOME1, dirty=False)
+        assert p.directory.is_cached_by(LINE_HOME1, 0)
+        n[0].access(LINE_HOME1, False, False)
+        out = p.service_miss(0, LINE_HOME1, False, False)
+        assert out.kind is MissKind.LOCAL and out.via_rac
+
+    def test_rac_probe_counted_on_miss(self):
+        p, n, racs = build(racs=True)
+        miss(p, n, 0, LINE_HOME1)
+        assert racs[0].probes == 1 and racs[0].hits == 0
+
+    def test_dirty_in_remote_rac_costs_more(self):
+        p, n, racs = build(racs=True)
+        miss(p, n, 1, LINE_HOME2, write=True)
+        # Push the dirty line out of node 1's L2 into its RAC.
+        n[1].invalidate(LINE_HOME2)
+        p.handle_eviction(1, LINE_HOME2, dirty=True)
+        assert racs[1].holds_dirty(LINE_HOME2)
+        out = miss(p, n, 0, LINE_HOME2)
+        assert out.kind is MissKind.REMOTE_DIRTY
+        assert out.from_remote_rac
+
+    def test_invalidation_reaches_rac(self):
+        p, n, racs = build(racs=True)
+        miss(p, n, 0, LINE_HOME1)
+        assert racs[0].holds(LINE_HOME1)
+        miss(p, n, 2, LINE_HOME1, write=True)
+        assert not racs[0].holds(LINE_HOME1)
+        assert not p.directory.is_cached_by(LINE_HOME1, 0)
+
+    def test_rac_write_hit_needs_ownership(self):
+        p, n, racs = build(racs=True)
+        miss(p, n, 0, LINE_HOME1)          # shared fill, RAC allocated
+        miss(p, n, 2, LINE_HOME1)          # another sharer
+        n[0].invalidate(LINE_HOME1)        # drop from L2, keep in RAC
+        p.handle_eviction(0, LINE_HOME1, dirty=False)
+        n[0].access(LINE_HOME1, True, False)
+        out = p.service_miss(0, LINE_HOME1, True, False)
+        assert out.kind is MissKind.REMOTE_CLEAN  # 2-hop ownership
+        assert out.via_rac and out.upgrade
+        assert out.invalidations == 1
+        assert p.directory.owner(LINE_HOME1) == 0
+
+
+class TestValidation:
+    def test_rac_count_mismatch_rejected(self):
+        nodes = [NodeCaches(1024, 2, l1_size=256, l1_assoc=2)]
+        with pytest.raises(ValueError):
+            DirectoryProtocol(HomeMap(1, PAGE), nodes, [])

@@ -1,0 +1,123 @@
+"""Stateful (model-based) testing of the directory protocol.
+
+Hypothesis drives random sequences of reads, writes, upgrades, and
+evictions across four nodes, checking after every step that:
+
+* the directory's structural invariants hold;
+* directory presence exactly matches cache contents;
+* at most one node ever holds a line dirty;
+* an owned line is held by exactly its owner;
+* miss classification agrees with an independent oracle that tracks
+  only "who last wrote this line and has it still" state.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.coherence.homemap import HomeMap
+from repro.coherence.protocol import DirectoryProtocol
+from repro.memsys.hierarchy import HierarchyLevel, NodeCaches
+from repro.params import MissKind
+
+NNODES = 4
+PAGE = 256  # 4 lines/page: line L has home (L // 4) % 4
+LINES = st.integers(0, 31)
+NODES = st.integers(0, NNODES - 1)
+
+
+class ProtocolMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.nodes = [
+            NodeCaches(1024, 2, l1_size=256, l1_assoc=2, node_id=i)
+            for i in range(NNODES)
+        ]
+        self.protocol = DirectoryProtocol(HomeMap(NNODES, PAGE), self.nodes)
+        # Oracle state: node that holds the line dirty, if any.
+        self.dirty_at = {}
+
+    # -- operations ----------------------------------------------------------
+
+    def _access(self, node: int, line: int, write: bool):
+        result = self.nodes[node].access(line, write, False)
+        if result.victim is not None:
+            self.protocol.handle_eviction(node, result.victim, result.victim_dirty)
+            if self.dirty_at.get(result.victim) == node:
+                del self.dirty_at[result.victim]
+        if result.level is HierarchyLevel.MISS:
+            outcome = self.protocol.service_miss(node, line, write, False)
+            return outcome
+        if write:
+            self.protocol.ensure_owner(node, line)
+        return None
+
+    @rule(node=NODES, line=LINES)
+    def read(self, node, line):
+        expected_dirty_elsewhere = (
+            line in self.dirty_at and self.dirty_at[line] != node
+            and not self.nodes[node].holds(line)
+        )
+        outcome = self._access(node, line, False)
+        if outcome is not None and expected_dirty_elsewhere:
+            assert outcome.kind is MissKind.REMOTE_DIRTY
+        if outcome is not None:
+            # After a read service, no node holds the line dirty.
+            self.dirty_at.pop(line, None)
+
+    @rule(node=NODES, line=LINES)
+    def write(self, node, line):
+        self._access(node, line, True)
+        self.dirty_at[line] = node
+
+    @rule(node=NODES, line=LINES)
+    def evict(self, node, line):
+        """Force a line out of a node (capacity pressure stand-in)."""
+        if not self.nodes[node].holds(line):
+            return
+        dirty = self.nodes[node].invalidate(line)
+        self.protocol.handle_eviction(node, line, dirty)
+        if self.dirty_at.get(line) == node:
+            del self.dirty_at[line]
+
+    # -- invariants ---------------------------------------------------------------
+
+    @invariant()
+    def directory_structurally_sound(self):
+        self.protocol.directory.check_invariants()
+
+    @invariant()
+    def directory_matches_caches(self):
+        directory = self.protocol.directory
+        for node_id, node in enumerate(self.nodes):
+            for line in node.l2.resident_lines():
+                assert directory.is_cached_by(line, node_id)
+        for line in range(32):
+            for sharer in directory.sharers(line):
+                assert self.nodes[sharer].holds(line)
+
+    @invariant()
+    def single_dirty_holder(self):
+        for line in range(32):
+            dirty_holders = [
+                i for i, n in enumerate(self.nodes) if n.holds_dirty(line)
+            ]
+            assert len(dirty_holders) <= 1
+            if dirty_holders:
+                assert self.protocol.directory.owner(line) == dirty_holders[0]
+
+    @invariant()
+    def owner_is_sole_holder(self):
+        for line in range(32):
+            owner = self.protocol.directory.owner(line)
+            if owner is not None:
+                holders = [i for i, n in enumerate(self.nodes) if n.holds(line)]
+                assert holders == [owner]
+
+
+ProtocolMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=60, deadline=None
+)
+TestProtocolStateMachine = ProtocolMachine.TestCase

@@ -1,0 +1,48 @@
+"""Shared fixtures: tiny traces and machines sized for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.machine import MachineConfig
+from repro.oltp.config import WorkloadConfig
+from repro.trace.generator import build_trace
+
+#: Scale used throughout the test suite: small enough that a full
+#: engine+simulator round trip takes well under a second.
+TEST_SCALE = 128
+
+
+@pytest.fixture(scope="session")
+def uni_trace():
+    """A small uniprocessor OLTP trace shared by read-only tests."""
+    return build_trace(ncpus=1, scale=TEST_SCALE, txns=60, warmup_txns=30, seed=11)
+
+
+@pytest.fixture(scope="session")
+def mp_trace():
+    """A small 4-CPU OLTP trace shared by read-only tests."""
+    return build_trace(ncpus=4, scale=TEST_SCALE, txns=160, warmup_txns=64, seed=11)
+
+
+@pytest.fixture(scope="session")
+def mp8_trace():
+    """A small 8-CPU OLTP trace (the paper's MP size)."""
+    return build_trace(ncpus=8, scale=TEST_SCALE, txns=240, warmup_txns=96, seed=11)
+
+
+@pytest.fixture
+def small_config():
+    """Workload config at test scale (uniprocessor)."""
+    return WorkloadConfig.build(ncpus=1, scale=TEST_SCALE, seed=11)
+
+
+@pytest.fixture
+def mp_config():
+    return WorkloadConfig.build(ncpus=4, scale=TEST_SCALE, seed=11)
+
+
+def test_machine(ncpus: int = 1, **kwargs) -> MachineConfig:
+    """A Base machine at test scale with overridable fields."""
+    kwargs.setdefault("scale", TEST_SCALE)
+    return MachineConfig.base(ncpus, **kwargs)

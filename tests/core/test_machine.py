@@ -1,0 +1,133 @@
+"""Tests for machine configuration factories and validation."""
+
+import pytest
+
+from repro.core.machine import MachineConfig, cache_label
+from repro.params import KB, MB, IntegrationLevel, L2Technology
+
+
+class TestLabels:
+    def test_cache_label_mb(self):
+        assert cache_label(2 * MB, 8) == "2M8w"
+        assert cache_label(8 * MB, 1) == "8M1w"
+
+    def test_cache_label_fractional_mb(self):
+        assert cache_label(1280 * KB, 4) == "1.25M4w"
+
+    def test_cache_label_kb(self):
+        assert cache_label(64 * KB, 2) == "64K2w"
+
+
+class TestFactories:
+    def test_base_defaults_match_figure2(self):
+        m = MachineConfig.base()
+        assert m.l2_size == 8 * MB
+        assert m.l2_assoc == 1
+        assert m.integration is IntegrationLevel.BASE
+        assert m.ncpus == 1
+
+    def test_conservative_base(self):
+        m = MachineConfig.conservative_base(8)
+        assert m.integration is IntegrationLevel.CONSERVATIVE_BASE
+        assert m.l2_assoc == 4
+
+    def test_integrated_l2_sram(self):
+        m = MachineConfig.integrated_l2()
+        assert m.integration is IntegrationLevel.L2
+        assert m.l2_technology is L2Technology.ON_CHIP_SRAM
+        assert m.l2_size == 2 * MB and m.l2_assoc == 8
+
+    def test_fully_integrated_with_rac(self):
+        m = MachineConfig.fully_integrated(8, rac_size=8 * MB, replicate_code=True)
+        assert m.rac_size == 8 * MB
+        assert m.replicate_code
+        assert "+RAC" in m.label
+
+    def test_with_override(self):
+        m = MachineConfig.base().with_(cpu_model="ooo")
+        assert m.cpu_model == "ooo"
+        assert m.l2_size == 8 * MB
+
+
+class TestLatencies:
+    def test_base_direct_mapped(self):
+        lat = MachineConfig.base().latencies
+        assert (lat.l2_hit, lat.local) == (25, 100)
+
+    def test_base_associative_pays_set_selection(self):
+        lat = MachineConfig.base(l2_assoc=4).latencies
+        assert lat.l2_hit == 30
+
+    def test_integrated_sram(self):
+        assert MachineConfig.integrated_l2().latencies.l2_hit == 15
+
+    def test_integrated_dram(self):
+        m = MachineConfig.integrated_l2(
+            l2_size=8 * MB, technology=L2Technology.ON_CHIP_DRAM
+        )
+        assert m.latencies.l2_hit == 25
+
+    def test_full_integration(self):
+        lat = MachineConfig.fully_integrated(8).latencies
+        assert (lat.l2_hit, lat.local, lat.remote_clean, lat.remote_dirty) == (
+            15, 75, 150, 200,
+        )
+
+
+class TestScaling:
+    def test_scaled_l2(self):
+        m = MachineConfig.base(scale=32)
+        assert m.scaled_l2_size == 8 * MB // 32
+
+    def test_scaled_size_multiple_of_ways(self):
+        m = MachineConfig.integrated_l2(l2_size=1280 * KB, l2_assoc=4, scale=96)
+        assert m.scaled_l2_size % (4 * 64) == 0
+        assert m.scaled_l2_size > 0
+
+    def test_scaled_l1_uses_relief(self):
+        m = MachineConfig.base(scale=32)
+        assert m.scaled_l1_size == 64 * KB * MachineConfig.L1_SCALE_RELIEF // 32
+
+    def test_scaled_rac(self):
+        m = MachineConfig.fully_integrated(8, rac_size=8 * MB, scale=32)
+        assert m.scaled_rac_size == 8 * MB // 32
+        assert MachineConfig.base().scaled_rac_size is None
+
+
+class TestValidation:
+    def test_rejects_zero_cpus(self):
+        with pytest.raises(ValueError):
+            MachineConfig(label="x", ncpus=0)
+
+    def test_rejects_bad_cpu_model(self):
+        with pytest.raises(ValueError):
+            MachineConfig(label="x", cpu_model="vliw")
+
+    def test_rejects_offchip_tech_on_integrated(self):
+        with pytest.raises(ValueError):
+            MachineConfig(
+                label="x",
+                integration=IntegrationLevel.L2,
+                l2_technology=L2Technology.OFF_CHIP_SRAM,
+            )
+
+    def test_rejects_onchip_tech_on_base(self):
+        with pytest.raises(ValueError):
+            MachineConfig(
+                label="x",
+                integration=IntegrationLevel.BASE,
+                l2_technology=L2Technology.ON_CHIP_SRAM,
+            )
+
+    def test_rejects_uniprocessor_rac(self):
+        with pytest.raises(ValueError):
+            MachineConfig(
+                label="x",
+                integration=IntegrationLevel.FULL,
+                l2_technology=L2Technology.ON_CHIP_SRAM,
+                rac_size=8 * MB,
+            )
+
+    def test_rejects_bad_l2_geometry(self):
+        with pytest.raises(ValueError):
+            MachineConfig(label="x", l2_size=0)

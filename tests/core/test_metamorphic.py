@@ -1,0 +1,131 @@
+"""Metamorphic properties of the simulator.
+
+These check relations that must hold between *pairs* of simulations —
+the kind of bug net unit tests cannot provide: latency monotonicity,
+RAC miss-count invariance, replication localization, and OOO-vs-in-
+order dominance, all on random multiprocessor traces.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.machine import MachineConfig
+from repro.core.system import simulate
+from repro.cpu.events import encode
+from repro.params import MB, IntegrationLevel, LatencyTable
+from repro.trace.synthetic import make_trace
+
+PAGE = 256
+
+
+def random_trace(seed, ncpus=4, nlines=96, nquanta=80):
+    """Random trace with disjoint code and data line ranges (code is
+    never written, as in any real execution)."""
+    rng = random.Random(seed)
+    code_lines = nlines // 2
+    quanta = []
+    for _ in range(nquanta):
+        cpu = rng.randrange(ncpus)
+        refs = []
+        for _ in range(rng.randint(2, 24)):
+            instr = rng.random() < 0.35
+            if instr:
+                line = rng.randrange(code_lines)
+                refs.append(encode(line, instr=True,
+                                   kernel=rng.random() < 0.15))
+            else:
+                line = code_lines + rng.randrange(nlines - code_lines)
+                refs.append(
+                    encode(
+                        line,
+                        write=rng.random() < 0.4,
+                        kernel=rng.random() < 0.15,
+                        dependent=rng.random() < 0.2,
+                    )
+                )
+        quanta.append((cpu, refs))
+    return make_trace(ncpus, quanta, page_bytes=PAGE)
+
+
+def base_machine(**kw):
+    kw.setdefault("l2_size", 4096)
+    kw.setdefault("l2_assoc", 2)
+    return MachineConfig.base(4, scale=1, **kw)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_raising_any_latency_never_speeds_up(seed):
+    trace_a, trace_b = random_trace(seed), random_trace(seed)
+    machine = base_machine()
+    base = simulate(machine, trace_a)
+    slower_table = LatencyTable(30, 120, 200, 320, remote_upgrade=200)
+    slower = simulate(machine.with_(latency_override=slower_table), trace_b)
+    assert slower.breakdown.total >= base.breakdown.total
+    # Miss counts are latency-independent.
+    assert slower.misses.as_dict() == base.misses.as_dict()
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_rac_never_changes_total_misses(seed):
+    full = MachineConfig.fully_integrated(4, l2_size=4096, l2_assoc=2, scale=1)
+    with_rac = full.with_(rac_size=64 * 1024, label="rac")
+    a = simulate(full, random_trace(seed))
+    b = simulate(with_rac, random_trace(seed))
+    assert a.misses.total == b.misses.total
+    # The RAC can only *localize* service: remote misses never increase
+    # beyond the 3-hop conversions, and locals never decrease.
+    assert (b.misses.i_local + b.misses.d_local) >= (
+        a.misses.i_local + a.misses.d_local
+    )
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_replication_eliminates_remote_instruction_misses(seed):
+    trace = random_trace(seed)
+    # Mark the code half of the line space as replicated text pages.
+    trace.text_pages = frozenset(line // 4 for line in range(48))
+    machine = MachineConfig.fully_integrated(
+        4, l2_size=4096, l2_assoc=2, replicate_code=True, scale=1
+    )
+    result = simulate(machine, trace)
+    assert result.misses.i_remote == 0
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_ooo_never_slower_than_inorder(seed):
+    ino = simulate(base_machine(), random_trace(seed))
+    ooo = simulate(base_machine(cpu_model="ooo"), random_trace(seed))
+    assert ooo.breakdown.total <= ino.breakdown.total
+    assert ooo.misses.as_dict() == ino.misses.as_dict()
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_full_integration_never_slower_than_conservative(seed):
+    # Same cache geometry, strictly better latencies everywhere.
+    cons = MachineConfig.conservative_base(4, l2_size=4096, l2_assoc=2, scale=1)
+    full = MachineConfig.fully_integrated(4, l2_size=4096, l2_assoc=2, scale=1)
+    a = simulate(cons, random_trace(seed))
+    b = simulate(full, random_trace(seed))
+    assert b.breakdown.total <= a.breakdown.total
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_lru_stack_property_fully_associative(seed):
+    """LRU inclusion: a bigger fully-associative cache never misses
+    more than a smaller one (the classic stack property — it holds
+    only for nested fully-associative sizes, not across different set
+    mappings, which is exactly why the paper's conflict misses can
+    make an 8 MB direct-mapped cache lose to a 2 MB 8-way one)."""
+    big = MachineConfig.base(1, l2_size=2048, l2_assoc=2048 // 64, scale=1)
+    small = MachineConfig.base(1, l2_size=1024, l2_assoc=1024 // 64, scale=1)
+    a = simulate(big, random_trace(seed, ncpus=1))
+    b = simulate(small, random_trace(seed, ncpus=1))
+    assert a.misses.total <= b.misses.total

@@ -1,0 +1,77 @@
+"""Tests for RunResult derived metrics."""
+
+import pytest
+
+from repro.core.machine import MachineConfig
+from repro.core.results import RunResult
+from repro.stats.breakdown import (
+    ExecutionBreakdown,
+    L1Stats,
+    MissBreakdown,
+    ProtocolStats,
+    RacStats,
+)
+
+
+def make_result(busy=20.0, l2_hit=30.0, local=25.0, rem_dirty=25.0,
+                ncpus=2, txns=10, kernel=5.0):
+    total = ExecutionBreakdown(
+        busy=busy, kernel_busy=kernel, l2_hit=l2_hit,
+        local_stall=local, remote_dirty_stall=rem_dirty,
+    )
+    per_cpu = [total] * ncpus  # shape only; exec_time divides by count
+    return RunResult(
+        machine=MachineConfig.base(ncpus),
+        breakdown=total,
+        per_cpu=per_cpu,
+        misses=MissBreakdown(i_local=2, d_remote_dirty=6, d_local=2),
+        l1=L1Stats(i_refs=100, i_misses=10),
+        protocol=ProtocolStats(invalidations=4, writes=16),
+        rac=RacStats(),
+        measured_txns=txns,
+    )
+
+
+def test_exec_time_is_per_cpu_average():
+    r = make_result(ncpus=2)
+    assert r.exec_time == r.breakdown.total / 2
+
+
+def test_cycles_per_txn():
+    r = make_result(txns=10)
+    assert r.cycles_per_txn == r.breakdown.total / 10
+    r0 = make_result(txns=0)
+    assert r0.cycles_per_txn == 0.0
+
+
+def test_l2_misses():
+    assert make_result().l2_misses == 10
+
+
+def test_kernel_fraction():
+    r = make_result(busy=20.0, kernel=5.0)
+    assert r.kernel_fraction == 0.25
+
+
+def test_speedup_over():
+    slow = make_result(busy=200.0)
+    fast = make_result()
+    assert fast.speedup_over(slow) == pytest.approx(
+        slow.exec_time / fast.exec_time
+    )
+
+
+def test_speedup_rejects_zero_time():
+    zero = make_result(busy=0, l2_hit=0, local=0, rem_dirty=0, kernel=0)
+    with pytest.raises(ValueError):
+        zero.speedup_over(make_result())
+
+
+def test_summary_mentions_label_and_components():
+    s = make_result().summary()
+    assert "Base 8M1w" in s
+    assert "cyc/txn" in s and "3-hop" in s
+
+
+def test_label_comes_from_machine():
+    assert make_result().label == "Base 8M1w"

@@ -1,0 +1,196 @@
+"""System-level tests with hand-built traces: exact latency accounting."""
+
+import pytest
+
+from repro.core.machine import MachineConfig
+from repro.core.system import System, simulate
+from repro.cpu.events import encode
+from repro.params import INSTRS_PER_ILINE, MB
+from repro.trace.synthetic import make_trace
+
+# Test machines use scale=1: logical sizes are simulated directly.
+# Small explicit caches keep the arithmetic easy to reason about.
+PAGE = 256  # 4 lines per page
+
+
+def uni(l2_size=64 * 1024, l2_assoc=2, **kw):
+    return MachineConfig.base(1, l2_size=l2_size, l2_assoc=l2_assoc, scale=1, **kw)
+
+
+def mp(ncpus=2, **kw):
+    kw.setdefault("l2_size", 64 * 1024)
+    kw.setdefault("l2_assoc", 2)
+    return MachineConfig.base(ncpus, scale=1, **kw)
+
+
+class TestUniprocessorAccounting:
+    def test_cold_data_miss_charges_local_latency(self):
+        trace = make_trace(1, [(0, [encode(5)])], page_bytes=PAGE)
+        r = simulate(uni(), trace)
+        assert r.breakdown.local_stall == 100  # Base 1-way... assoc=2 -> still local=100
+        assert r.misses.total == 1
+        assert r.misses.d_local == 1
+
+    def test_l1_hit_is_free(self):
+        trace = make_trace(1, [(0, [encode(5), encode(5)])], page_bytes=PAGE)
+        r = simulate(uni(), trace)
+        assert r.breakdown.local_stall == 100  # only the first access missed
+        assert r.misses.total == 1
+
+    def test_l2_hit_charges_l2_latency(self):
+        # L1 in a scale=1 machine is 128 KB (relief x2): pick conflicting
+        # lines.  L1 sets = 128K/(2*64) = 1024; lines 0, 1024, 2048 share
+        # L1 set 0; L2 (64K, 2-way) sets = 512, so they do NOT collide
+        # in L2 (0, 0+1024%512=0... they do collide).  Use a big L2.
+        machine = uni(l2_size=1 * MB, l2_assoc=8)
+        l1_lines = machine.scaled_l1_size // (2 * 64)
+        a, b, c = 5, 5 + l1_lines, 5 + 2 * l1_lines
+        refs = [encode(a), encode(b), encode(c), encode(a)]
+        trace = make_trace(1, [(0, refs)], page_bytes=PAGE)
+        r = simulate(machine, trace)
+        # Three cold misses plus one L2 hit for the return to `a`.
+        assert r.misses.total == 3
+        lat = machine.latencies
+        assert r.breakdown.local_stall == 3 * lat.local
+        assert r.breakdown.l2_hit == lat.l2_hit
+
+    def test_instruction_busy_time(self):
+        refs = [encode(7, instr=True), encode(7, instr=True)]
+        trace = make_trace(1, [(0, refs)], page_bytes=PAGE)
+        r = simulate(uni(), trace)
+        assert r.breakdown.busy == 2 * INSTRS_PER_ILINE
+        assert r.misses.instruction == 1
+
+    def test_kernel_busy_tracked(self):
+        refs = [encode(7, instr=True, kernel=True), encode(8, instr=True)]
+        trace = make_trace(1, [(0, refs)], page_bytes=PAGE)
+        r = simulate(uni(), trace)
+        assert r.breakdown.kernel_busy == INSTRS_PER_ILINE
+        assert r.breakdown.busy == 2 * INSTRS_PER_ILINE
+
+    def test_uniprocessor_never_remote(self):
+        refs = [encode(i, write=(i % 2 == 0)) for i in range(64)]
+        trace = make_trace(1, [(0, refs)], page_bytes=PAGE)
+        r = simulate(uni(), trace)
+        assert r.breakdown.remote_stall == 0
+        assert r.misses.remote == 0
+
+
+class TestMultiprocessorClassification:
+    def test_remote_clean_read(self):
+        # Line 4 -> page 1 -> home node 1; read from node 0.
+        trace = make_trace(2, [(0, [encode(4)])], page_bytes=PAGE)
+        machine = mp()
+        r = simulate(machine, trace)
+        assert r.misses.d_remote_clean == 1
+        assert r.breakdown.remote_clean_stall == machine.latencies.remote_clean
+
+    def test_local_read(self):
+        trace = make_trace(2, [(0, [encode(0)])], page_bytes=PAGE)
+        r = simulate(mp(), trace)
+        assert r.misses.d_local == 1
+
+    def test_three_hop_dirty_read(self):
+        # Node 0 writes line 8 (home 0: page 2 % 2); node 1 reads it.
+        trace = make_trace(
+            2, [(0, [encode(8, write=True)]), (1, [encode(8)])], page_bytes=PAGE
+        )
+        machine = mp()
+        r = simulate(machine, trace)
+        assert r.misses.d_remote_dirty == 1
+        assert r.breakdown.remote_dirty_stall == machine.latencies.remote_dirty
+
+    def test_migratory_write_pingpong(self):
+        quanta = []
+        for turn in range(6):
+            quanta.append((turn % 2, [encode(8, write=True)]))
+        trace = make_trace(2, quanta, page_bytes=PAGE)
+        r = simulate(mp(), trace)
+        # First access is a plain miss; all 5 subsequent are 3-hop.
+        assert r.misses.d_remote_dirty == 5
+        assert r.protocol.invalidations == 5
+
+    def test_upgrade_on_write_hit(self):
+        # Node 0 and 1 both read line 8 (shared); node 0 then writes it.
+        trace = make_trace(
+            2,
+            [(0, [encode(8)]), (1, [encode(8)]), (0, [encode(8, write=True)])],
+            page_bytes=PAGE,
+        )
+        machine = mp()
+        r = simulate(machine, trace)
+        assert r.protocol.upgrades == 1
+        assert r.protocol.invalidations == 1
+        # Upgrade at the local home stalls for the local latency.
+        assert r.breakdown.local_stall == machine.latencies.local * 2  # 2 fills
+        # Misses: two demand fills only (the upgrade is not a miss).
+        assert r.misses.total == 2
+
+    def test_read_shared_line_stays_everywhere(self):
+        trace = make_trace(
+            2, [(0, [encode(8)]), (1, [encode(8)]), (0, [encode(8)])], page_bytes=PAGE
+        )
+        r = simulate(mp(), trace)
+        assert r.misses.total == 2  # third access hits node 0's L1
+
+    def test_instruction_misses_classified_remote(self):
+        trace = make_trace(2, [(0, [encode(4, instr=True)])], page_bytes=PAGE)
+        r = simulate(mp(), trace)
+        assert r.misses.i_remote == 1
+
+
+class TestReplication:
+    def test_replicated_text_is_local(self):
+        # Page 1 (lines 4..7) marked as text: instruction fetches from
+        # node 0 are homed locally despite the round-robin map.
+        trace = make_trace(
+            2,
+            [(0, [encode(4, instr=True)]), (1, [encode(4, instr=True)])],
+            page_bytes=PAGE,
+            text_pages=frozenset({1}),
+        )
+        machine = MachineConfig.fully_integrated(
+            2, l2_size=64 * 1024, l2_assoc=2, replicate_code=True, scale=1
+        )
+        r = simulate(machine, trace)
+        assert r.misses.i_local == 2
+        assert r.misses.i_remote == 0
+
+
+class TestWarmupReset:
+    def test_warmup_quanta_excluded_from_stats(self):
+        refs = [encode(i) for i in range(8)]
+        trace = make_trace(
+            1, [(0, refs), (0, refs)], page_bytes=PAGE, warmup_quanta=1
+        )
+        r = simulate(uni(), trace)
+        # Second quantum replays the same lines: all L1 hits.
+        assert r.misses.total == 0
+        assert r.breakdown.total == 0
+
+    def test_without_warmup_all_counted(self):
+        refs = [encode(i) for i in range(8)]
+        trace = make_trace(1, [(0, refs), (0, refs)], page_bytes=PAGE)
+        r = simulate(uni(), trace)
+        assert r.misses.total == 8
+
+
+class TestSystemLifecycle:
+    def test_single_use(self):
+        trace = make_trace(1, [(0, [encode(1)])], page_bytes=PAGE)
+        system = System(uni())
+        system.run(trace)
+        with pytest.raises(RuntimeError):
+            system.run(trace)
+
+    def test_cpu_count_mismatch_rejected(self):
+        trace = make_trace(2, [(0, [encode(1)])], page_bytes=PAGE)
+        with pytest.raises(ValueError):
+            simulate(uni(), trace)
+
+    def test_ooo_model_runs(self):
+        refs = [encode(i, instr=(i % 3 == 0)) for i in range(30)]
+        trace = make_trace(1, [(0, refs)], page_bytes=PAGE)
+        r = simulate(uni(cpu_model="ooo"), trace)
+        assert r.breakdown.total > 0
+        assert r.misses.total > 0

@@ -1,0 +1,43 @@
+"""Tests for the packed trace-event encoding."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.events import (
+    FLAG_DEPENDENT,
+    FLAG_INSTR,
+    FLAG_KERNEL,
+    FLAG_WRITE,
+    decode,
+    encode,
+)
+
+
+def test_flag_bits_distinct():
+    assert len({FLAG_WRITE, FLAG_INSTR, FLAG_KERNEL, FLAG_DEPENDENT}) == 4
+    assert FLAG_WRITE | FLAG_INSTR | FLAG_KERNEL | FLAG_DEPENDENT == 0b1111
+
+
+def test_plain_read():
+    ref = encode(100)
+    line, write, instr, kernel, dep = decode(ref)
+    assert (line, write, instr, kernel, dep) == (100, False, False, False, False)
+
+
+def test_all_flags():
+    ref = encode(7, write=True, instr=True, kernel=True, dependent=True)
+    assert decode(ref) == (7, True, True, True, True)
+
+
+@given(
+    st.integers(0, 2**50),
+    st.booleans(), st.booleans(), st.booleans(), st.booleans(),
+)
+def test_roundtrip(line, write, instr, kernel, dep):
+    ref = encode(line, write=write, instr=instr, kernel=kernel, dependent=dep)
+    assert decode(ref) == (line, write, instr, kernel, dep)
+
+
+@given(st.integers(0, 2**50))
+def test_line_preserved_in_high_bits(line):
+    assert encode(line, write=True) >> 4 == line

@@ -1,0 +1,69 @@
+"""Tests for the in-order CPU timing model."""
+
+from repro.cpu.events import (
+    STALL_L2_HIT,
+    STALL_LOCAL,
+    STALL_REMOTE_CLEAN,
+    STALL_REMOTE_DIRTY,
+)
+from repro.cpu.inorder import InOrderCPU
+
+
+def test_busy_accumulates():
+    cpu = InOrderCPU()
+    cpu.busy(10, False)
+    cpu.busy(5, True)
+    assert cpu.busy_cycles == 15
+    assert cpu.kernel_busy_cycles == 5
+
+
+def test_stalls_are_additive_per_class():
+    cpu = InOrderCPU()
+    cpu.stall(25, STALL_L2_HIT)
+    cpu.stall(100, STALL_LOCAL)
+    cpu.stall(175, STALL_REMOTE_CLEAN)
+    cpu.stall(275, STALL_REMOTE_DIRTY)
+    b = cpu.breakdown()
+    assert b.l2_hit == 25
+    assert b.local_stall == 100
+    assert b.remote_clean_stall == 175
+    assert b.remote_dirty_stall == 275
+    assert b.total == 575
+
+
+def test_dependent_flag_is_ignored():
+    a, b = InOrderCPU(), InOrderCPU()
+    a.stall(100, STALL_LOCAL, dependent=True)
+    b.stall(100, STALL_LOCAL, dependent=False)
+    assert a.now == b.now
+
+
+def test_now_is_busy_plus_stall():
+    cpu = InOrderCPU()
+    cpu.busy(8, False)
+    cpu.stall(25, STALL_L2_HIT)
+    assert cpu.now == 33
+
+
+def test_reset_zeroes_everything():
+    cpu = InOrderCPU()
+    cpu.busy(8, True)
+    cpu.stall(25, STALL_L2_HIT)
+    cpu.reset()
+    assert cpu.now == 0
+    assert cpu.breakdown().total == 0
+
+
+def test_drain_is_noop():
+    cpu = InOrderCPU()
+    cpu.stall(100, STALL_LOCAL)
+    before = cpu.now
+    cpu.drain()
+    assert cpu.now == before
+
+
+def test_breakdown_utilization():
+    cpu = InOrderCPU()
+    cpu.busy(20, False)
+    cpu.stall(80, STALL_LOCAL)
+    assert cpu.breakdown().cpu_utilization == 0.2

@@ -1,0 +1,116 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    cmp_study,
+    latency_sensitivity,
+    scaling_study,
+    victim_buffer_study,
+)
+from repro.experiments.common import Settings, clear_trace_cache
+
+TINY = Settings(scale=256, uni_txns=30, mp_txns=80, seed=3)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _clear():
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+class TestVictimBufferStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return victim_buffer_study(TINY)
+
+    def test_rows_present(self, study):
+        labels = [label for label, _ in study.rows]
+        assert labels[0] == "2M1w" and "2M8w" in labels
+
+    def test_buffer_monotonically_reduces_misses(self, study):
+        by_label = dict(study.rows)
+        assert (
+            by_label["2M1w"].misses.total
+            >= by_label["2M1w +VB8"].misses.total
+            >= by_label["2M1w +VB16"].misses.total
+            >= by_label["2M1w +VB64"].misses.total
+        )
+
+    def test_associativity_still_wins(self, study):
+        by_label = dict(study.rows)
+        assert by_label["2M8w"].misses.total <= by_label["2M1w +VB16"].misses.total
+
+    def test_render(self, study):
+        assert "victim buffers" in study.render()
+
+
+class TestCmpStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return cmp_study(TINY)
+
+    def test_chip_counts(self, study):
+        assert [r.machine.num_nodes for _, r in study.rows] == [16, 8, 4]
+        assert all(r.machine.ncpus == 16 for _, r in study.rows)
+
+    def test_cmp_cost_near_parity(self, study):
+        flat = study.rows[0][1].cycles_per_txn
+        dual = study.rows[1][1].cycles_per_txn
+        assert abs(dual / flat - 1.0) < 0.25
+
+    def test_fewer_chips_less_dirty_share(self, study):
+        shares = [r.misses.dirty_share for _, r in study.rows]
+        assert shares[2] <= shares[0] + 0.02  # on-chip sharing localizes
+
+    def test_render(self, study):
+        assert "chip multiprocessing" in study.render()
+
+
+class TestLatencySensitivity:
+    def test_mp_most_sensitive_to_remote_dirty(self):
+        study = latency_sensitivity(TINY, ncpus=8)
+        by_class = dict(study.deltas)
+        assert by_class["remote_dirty"] > by_class["local"]
+        assert all(v >= 0.999 for v in by_class.values())
+
+    def test_uni_has_no_remote_classes(self):
+        study = latency_sensitivity(TINY, ncpus=1)
+        names = [n for n, _ in study.deltas]
+        assert names == ["l2_hit", "local"]
+        # At the degenerate test scale the l2_hit-vs-local ranking is
+        # not meaningful (cache-size floors bind); the realistic-scale
+        # ranking is asserted by the benchmark harness.
+        assert all(v >= 1.0 for _, v in study.deltas)
+
+    def test_render_names_the_winner(self):
+        text = latency_sensitivity(TINY, ncpus=1).render()
+        assert "most performance-critical class" in text
+
+
+class TestScalingStudy:
+    def test_shape_stable_across_scales(self):
+        # Scale floors bind below ~128; use the smallest regime where
+        # the methodology is claimed to hold.
+        study = scaling_study(scales=(96,), txns=120, seed=3)
+        for scale, speedup, miss_ratio in study.rows:
+            assert speedup > 1.0
+        assert "scaling robustness" in study.render()
+
+
+class TestTlbStudy:
+    def test_reach_curve_monotone(self):
+        from repro.experiments.ablations import tlb_study
+
+        study = tlb_study(TINY, entry_counts=(0, 32, 256))
+        slowdowns = [s for _, s, _ in study.rows]
+        assert slowdowns[0] == 1.0
+        assert slowdowns[1] >= slowdowns[2] >= 1.0
+        fills = [f for _, _, f in study.rows]
+        assert fills[1] > fills[2]
+
+    def test_render(self):
+        from repro.experiments.ablations import tlb_study
+
+        assert "TLB reach" in tlb_study(TINY, entry_counts=(0, 32)).render()

@@ -1,0 +1,128 @@
+"""Driver-level tests: every figure runs and has the right structure.
+
+These use very small settings — the *shape* assertions at realistic
+sizes live in tests/integration/test_paper_shapes.py.
+"""
+
+import pytest
+
+from repro.experiments import fig3_latencies, integration, offchip, onchip, rac
+from repro.experiments import ooo as ooo_experiment
+from repro.experiments.cli import FIGURES, main, run_figure
+from repro.experiments.common import Settings, clear_trace_cache
+from repro.experiments.report import bar_chart, miss_table, render, time_table
+
+TINY = Settings(scale=256, uni_txns=20, mp_txns=60, seed=3)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _clear_cache():
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+class TestFig3:
+    def test_render_contains_all_rows(self):
+        text = fig3_latencies.render()
+        for label in ("Conservative Base", "Base, 1-way L2", "CC/NR integrated"):
+            assert label in text
+
+    def test_ratios(self):
+        r = fig3_latencies.reduction_ratios()
+        assert r["l2_hit"] == pytest.approx(25 / 15)
+
+
+class TestOffchip:
+    def test_fig5_rows(self):
+        fig = offchip.run(1, TINY)
+        labels = [r.label for r in fig.rows]
+        assert labels[0] == "1M1w" and "Cons 8M4w" in labels
+        assert len(labels) == 9
+        assert fig.baseline.time_norm == 100.0
+
+    def test_fig6_is_multiprocessor(self):
+        fig = offchip.run(8, TINY)
+        assert fig.rows[0].result.machine.ncpus == 8
+        assert fig.notes
+
+
+class TestOnchip:
+    def test_fig7_rows(self):
+        fig = onchip.run(1, TINY)
+        labels = [r.label for r in fig.rows]
+        assert labels == ["8M1w Base", "1M8w", "2M8w", "2M4w", "2M2w", "2M1w",
+                          "8M8w DRAM"]
+
+    def test_dram_has_dram_latency(self):
+        fig = onchip.run(1, TINY)
+        assert fig.row("8M8w DRAM").result.machine.latencies.l2_hit == 25
+
+
+class TestIntegration:
+    def test_fig10_structure(self):
+        study = integration.run(TINY)
+        assert [r.label for r in study.uni.rows] == ["Base", "L2", "L2+MC"]
+        assert [r.label for r in study.mp.rows] == ["Base", "L2", "L2+MC", "All"]
+        assert study.conservative_speedup > 1.0
+        assert study.mp_full_speedup == study.mp.speedup("All")
+
+
+class TestRac:
+    def test_fig11_structure(self):
+        study = rac.run_miss_study(TINY)
+        text = study.render()
+        assert "RAC NoRepl" in text
+        assert study.rac_no_repl.rac.probes > 0
+        # The RAC never changes the total number of L2 misses.
+        assert study.rac_no_repl.misses.total == study.no_rac_no_repl.misses.total
+
+    def test_replication_kills_remote_instruction_misses(self):
+        study = rac.run_miss_study(TINY)
+        assert study.no_rac_repl.misses.i_remote == 0
+
+    def test_fig12_rows(self):
+        fig = rac.run_perf_study(TINY)
+        labels = [r.label for r in fig.rows]
+        assert "1.25M4w NoRAC" in labels and "2M8w RAC" in labels
+
+
+class TestOoo:
+    def test_fig13_structure(self):
+        study = ooo_experiment.run(TINY)
+        assert study.uni_ooo_gain > 1.0
+        assert study.mp_ooo_gain > 1.0
+        ratios = study.step_ratios()
+        assert "uni" in ratios and "mp" in ratios
+        assert "OOO absolute gain" in study.render()
+
+
+class TestReport:
+    def test_tables_render(self):
+        fig = offchip.run(1, TINY)
+        assert "Figure 5" in time_table(fig)
+        assert "I-Loc" in miss_table(fig)
+        assert "legend" in bar_chart(fig)
+        full = render(fig, misses=True, chart=True)
+        assert "notes:" in full
+
+
+class TestCli:
+    def test_run_figure_dispatch(self):
+        for name in ("fig3",):
+            assert run_figure(name, TINY)
+
+    def test_unknown_figure(self):
+        with pytest.raises(ValueError):
+            run_figure("fig99", TINY)
+
+    def test_main_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+
+    def test_figures_tuple_complete(self):
+        assert set(FIGURES) == {
+            "fig3", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12",
+            "fig13",
+        }

@@ -1,0 +1,254 @@
+"""End-to-end shape tests: the paper's qualitative claims must hold.
+
+These run the real experiment drivers at the paper scale factor (32)
+with slightly shortened transaction counts; they are the contract the
+benchmark harness regenerates at full length.  Each test names the
+paper section/figure it checks.  Marginal comparisons (2M4w vs 8M1w
+misses, the 1M8w capacity cliff) are placement-sensitive at coarser
+scales, which is why this suite does not shrink further.
+"""
+
+import pytest
+
+from repro.experiments import integration, offchip, onchip, rac
+from repro.experiments import ooo as ooo_experiment
+from repro.experiments.common import Settings, clear_trace_cache
+
+SETTINGS = Settings(scale=32, uni_txns=300, mp_txns=800, seed=7)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+class TestFigure5Uniprocessor:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return offchip.run(1, SETTINGS)
+
+    def test_misses_fall_with_size(self, fig):
+        sizes = [fig.row(f"{s}M1w").miss_norm for s in (1, 2, 4, 8)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_associativity_cuts_misses_at_every_size(self, fig):
+        for s in (1, 2, 4, 8):
+            assert fig.row(f"{s}M4w").miss_norm < fig.row(f"{s}M1w").miss_norm
+
+    def test_2m4w_beats_8m1w_on_misses(self, fig):
+        """Section 3's surprise: conflict misses dominate the big DM cache."""
+        assert fig.row("2M4w").miss_norm < fig.row("8M1w").miss_norm
+
+    def test_large_associative_cache_nearly_eliminates_misses(self, fig):
+        assert fig.row("8M4w").miss_norm < 12  # paper: ~2 (a ~50x cut)
+
+    def test_conservative_matches_base_at_8m4w(self, fig):
+        """Uniprocessors are insensitive to memory latency with big L2s."""
+        cons = fig.row("Cons 8M4w").time_norm
+        base = fig.row("8M4w").time_norm
+        assert abs(cons - base) / base < 0.06
+
+    def test_associative_beats_direct_mapped_except_at_8mb(self, fig):
+        for s in (1, 2, 4):
+            assert fig.row(f"{s}M4w").time_norm < fig.row(f"{s}M1w").time_norm
+        # At 8 MB the lower direct-mapped hit latency closes the gap:
+        # the paper finds 1-way narrowly *faster*; we require the gap
+        # to have collapsed to a few percent either way.
+        gap = fig.row("8M4w").time_norm - fig.row("8M1w").time_norm
+        assert gap > -0.06 * fig.row("8M1w").time_norm
+
+    def test_no_remote_traffic_on_uniprocessor(self, fig):
+        for row in fig.rows:
+            assert row.result.misses.remote == 0
+
+
+class TestFigure6Multiprocessor:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return offchip.run(8, SETTINGS)
+
+    def test_communication_floor(self, fig):
+        """Bigger caches cannot remove communication misses."""
+        assert fig.row("8M4w").miss_norm > 10
+
+    def test_remote_stall_dominates(self, fig):
+        b = fig.row("8M4w").result.breakdown
+        assert b.remote_stall > b.local_stall
+        assert b.remote_stall > b.busy
+
+    def test_dirty_share_grows_with_cache_effectiveness(self, fig):
+        assert (
+            fig.row("8M4w").result.misses.dirty_share
+            > fig.row("1M1w").result.misses.dirty_share
+        )
+
+    def test_absolute_3hop_misses_increase(self, fig):
+        """The paper's irony: better caching makes MORE 3-hop misses."""
+        assert (
+            fig.row("8M4w").result.misses.d_remote_dirty
+            > fig.row("1M1w").result.misses.d_remote_dirty
+        )
+
+    def test_dirty_share_majority_at_8m4w(self, fig):
+        assert fig.row("8M4w").result.misses.dirty_share > 0.5
+
+    def test_associative_never_loses_in_mp(self, fig):
+        for s in (1, 2, 4, 8):
+            assert fig.row(f"{s}M4w").time_norm <= fig.row(f"{s}M1w").time_norm * 1.02
+
+    def test_conservative_clearly_worse_in_mp(self, fig):
+        """MP performance IS sensitive to remote latencies."""
+        assert fig.row("Cons 8M4w").time_norm > fig.row("8M4w").time_norm * 1.04
+
+    def test_remote_misses_dominate_local(self, fig):
+        m = fig.row("8M4w").result.misses
+        assert m.remote > 5 * (m.i_local + m.d_local)
+
+
+class TestFigure7Uniprocessor:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return onchip.run(1, SETTINGS)
+
+    def test_2mb_associative_beats_8mb_direct_mapped_misses(self, fig):
+        assert fig.row("2M8w").miss_norm < 100
+        assert fig.row("2M4w").miss_norm < 100
+
+    def test_1mb_too_small(self, fig):
+        assert fig.row("1M8w").miss_norm > 100
+
+    def test_integration_speedup_at_least_1_3(self, fig):
+        assert fig.speedup("2M8w") > 1.3  # paper: >1.4x
+
+    def test_associativity_ladder(self, fig):
+        ladder = [fig.row(f"2M{w}w").miss_norm for w in (8, 4, 2, 1)]
+        assert ladder == sorted(ladder)
+
+    def test_dram_loses_to_sram_on_uniprocessor(self, fig):
+        assert fig.row("8M8w DRAM").time_norm > fig.row("2M8w").time_norm
+
+    def test_1m8w_still_faster_than_base_despite_misses(self, fig):
+        """Lower hit latency outweighs the extra misses (paper text)."""
+        assert fig.row("1M8w").time_norm < 100
+
+
+class TestFigure8Multiprocessor:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return onchip.run(8, SETTINGS)
+
+    def test_l2_integration_gain_smaller_than_uni(self, fig):
+        gain = fig.speedup("2M8w")
+        assert 1.05 < gain < 1.6  # paper: ~1.2x vs 1.4x for uni
+
+    def test_dram_small_loss_in_mp(self, fig):
+        ratio = fig.row("8M8w DRAM").time_norm / fig.row("2M8w").time_norm
+        assert 0.95 < ratio < 1.35  # paper: ~10% loss
+
+    def test_dram_has_fewest_misses(self, fig):
+        assert fig.row("8M8w DRAM").miss_norm == min(r.miss_norm for r in fig.rows)
+
+
+class TestFigure10Integration:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return integration.run(SETTINGS)
+
+    def test_uni_gain_comes_from_l2_step(self, study):
+        l2 = study.uni.speedup("L2")
+        mc_extra = study.uni.speedup("L2+MC", over="L2")
+        assert l2 > 1.3
+        assert abs(mc_extra - 1.0) < 0.08  # MC adds ~nothing on uni
+
+    def test_uni_full_speedup_about_1_4(self, study):
+        assert 1.25 < study.uni_full_speedup < 1.75
+
+    def test_mp_full_speedup_about_1_4(self, study):
+        assert 1.3 < study.mp_full_speedup < 1.75
+
+    def test_mp_gain_split_between_l2_and_system(self, study):
+        assert study.mp_l2_step > 1.1
+        assert study.mp_system_step > 1.1
+
+    def test_conservative_speedup_1_5_to_1_7(self, study):
+        assert 1.4 < study.conservative_speedup < 1.8  # paper: 1.56x
+
+    def test_l2_mc_step_roughly_neutral_in_mp(self, study):
+        ratio = study.mp.speedup("L2+MC", over="L2")
+        assert abs(ratio - 1.0) < 0.08  # paper: "virtually no impact"
+
+
+class TestFigures11And12Rac:
+    @pytest.fixture(scope="class")
+    def miss_study(self):
+        return rac.run_miss_study(SETTINGS)
+
+    @pytest.fixture(scope="class")
+    def perf(self):
+        return rac.run_perf_study(SETTINGS)
+
+    def test_rac_does_not_change_total_misses(self, miss_study):
+        assert (
+            miss_study.rac_no_repl.misses.total
+            == miss_study.no_rac_no_repl.misses.total
+        )
+
+    def test_rac_localizes_instruction_misses(self, miss_study):
+        without = miss_study.no_rac_no_repl.misses
+        with_rac = miss_study.rac_no_repl.misses
+        assert with_rac.i_remote < without.i_remote * 0.2
+        assert with_rac.i_local > without.i_local
+
+    def test_rac_increases_3hop_misses(self, miss_study):
+        assert (
+            miss_study.rac_no_repl.misses.d_remote_dirty
+            > miss_study.no_rac_no_repl.misses.d_remote_dirty
+        )
+
+    def test_rac_hit_rate_drops_with_replication(self, miss_study):
+        assert miss_study.hit_rate_no_repl > miss_study.hit_rate_repl > 0.05
+
+    def test_rac_raises_invalidation_rate(self, miss_study):
+        assert (
+            miss_study.rac_no_repl.protocol.invalidations_per_write
+            > miss_study.no_rac_no_repl.protocol.invalidations_per_write
+        )
+
+    def test_rac_benefit_is_small(self, perf):
+        gain = 1 - perf.row("1M4w RAC").time_norm / 100.0
+        assert 0.0 < gain < 0.15  # paper: 4.3%
+
+    def test_bigger_l2_beats_rac(self, perf):
+        assert perf.row("1.25M4w NoRAC").time_norm < perf.row("1M4w RAC").time_norm
+
+    def test_rac_useless_at_2m8w(self, perf):
+        ratio = perf.speedup("2M8w RAC", over="2M8w NoRAC")
+        assert abs(ratio - 1.0) < 0.05
+
+    def test_rac_hit_rate_low_at_2m8w(self, perf):
+        assert perf.row("2M8w RAC").result.rac.hit_rate < 0.25  # paper <10%
+
+
+class TestFigure13OutOfOrder:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return ooo_experiment.run(SETTINGS)
+
+    def test_absolute_gains(self, study):
+        assert 1.2 < study.uni_ooo_gain < 1.8   # paper ~1.4x
+        assert 1.1 < study.mp_ooo_gain < 1.6    # paper ~1.3x
+
+    def test_uni_gains_exceed_mp_gains(self, study):
+        """Remote latencies are harder to hide (paper Section 7)."""
+        assert study.uni_ooo_gain > study.mp_ooo_gain
+
+    def test_relative_integration_gains_match_inorder(self, study):
+        r = study.step_ratios()
+        assert r["uni"]["L2 ooo"] == pytest.approx(
+            r["uni"]["L2 in-order"], rel=0.12
+        )
+        assert r["mp"]["All ooo"] == pytest.approx(
+            r["mp"]["All in-order"], rel=0.12
+        )

@@ -1,0 +1,250 @@
+"""Unit and property tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsys.cache import CacheGeometryError, SetAssocCache
+
+
+def make(size=4096, assoc=2, line=64, name="c"):
+    return SetAssocCache(size, assoc, line, name)
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        c = make(size=8192, assoc=4)
+        assert c.num_sets == 8192 // (4 * 64)
+
+    def test_direct_mapped(self):
+        c = make(size=1024, assoc=1)
+        assert c.num_sets == 16
+        assert c.assoc == 1
+
+    def test_fully_associative_single_set(self):
+        c = make(size=512, assoc=8)
+        assert c.num_sets == 1
+
+    @pytest.mark.parametrize("size,assoc,line", [
+        (0, 1, 64), (-64, 1, 64), (64, 0, 64), (64, 1, 0),
+    ])
+    def test_rejects_nonpositive(self, size, assoc, line):
+        with pytest.raises(CacheGeometryError):
+            SetAssocCache(size, assoc, line)
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(CacheGeometryError):
+            SetAssocCache(1000, 4, 64)
+
+
+class TestAccess:
+    def test_miss_then_hit(self):
+        c = make()
+        assert not c.access(5, False).hit
+        assert c.access(5, False).hit
+        assert c.hits == 1 and c.misses == 1
+
+    def test_contains_does_not_touch_lru(self):
+        c = make(size=128, assoc=2, line=64)  # one set, two ways
+        c.access(0, False)
+        c.access(1, False)
+        assert c.contains(0)
+        # 0 is LRU despite the contains() call: accessing 2 evicts 0.
+        r = c.access(2, False)
+        assert r.victim == 0
+
+    def test_lru_order_updates_on_hit(self):
+        c = make(size=128, assoc=2)
+        c.access(0, False)
+        c.access(1, False)
+        c.access(0, False)  # 0 becomes MRU; 1 is the victim
+        r = c.access(2, False)
+        assert r.victim == 1
+
+    def test_eviction_only_within_set(self):
+        c = make(size=256, assoc=1)  # 4 sets
+        c.access(0, False)
+        r = c.access(1, False)  # different set: no eviction
+        assert r.victim is None
+        r = c.access(4, False)  # same set as 0 (4 % 4 == 0)
+        assert r.victim == 0
+
+    def test_write_marks_dirty(self):
+        c = make()
+        c.access(3, True)
+        assert c.is_dirty(3)
+        assert not c.is_dirty(4)
+
+    def test_read_does_not_mark_dirty(self):
+        c = make()
+        c.access(3, False)
+        assert not c.is_dirty(3)
+
+    def test_dirty_victim_triggers_writeback(self):
+        c = make(size=128, assoc=2)
+        c.access(0, True)
+        c.access(1, False)
+        r = c.access(2, False)
+        assert r.victim == 0 and r.victim_dirty and r.writeback
+        assert c.writebacks == 1
+
+    def test_clean_victim_no_writeback(self):
+        c = make(size=128, assoc=2)
+        c.access(0, False)
+        c.access(1, False)
+        r = c.access(2, False)
+        assert r.victim == 0 and not r.victim_dirty and not r.writeback
+
+    def test_occupancy(self):
+        c = make(size=512, assoc=2)
+        for line in range(5):
+            c.access(line, False)
+        assert c.occupancy == 5
+
+    def test_resident_lines(self):
+        c = make(size=512, assoc=2)
+        for line in (3, 9, 12):
+            c.access(line, False)
+        assert sorted(c.resident_lines()) == [3, 9, 12]
+
+
+class TestProbe:
+    def test_probe_miss_does_not_fill(self):
+        c = make()
+        assert not c.probe(7, False)
+        assert not c.contains(7)
+        assert c.misses == 1
+
+    def test_probe_hit_updates_lru_and_dirty(self):
+        c = make(size=128, assoc=2)
+        c.access(0, False)
+        c.access(1, False)
+        assert c.probe(0, True)
+        assert c.is_dirty(0)
+        r = c.access(2, False)
+        assert r.victim == 1  # 0 was made MRU by the probe
+
+
+class TestFill:
+    def test_fill_installs_without_demand_stats(self):
+        c = make()
+        c.fill(9)
+        assert c.contains(9)
+        assert c.hits == 0 and c.misses == 0
+
+    def test_fill_existing_line_sets_dirty(self):
+        c = make()
+        c.fill(9)
+        r = c.fill(9, dirty=True)
+        assert r.hit and c.is_dirty(9)
+
+    def test_fill_evicts(self):
+        c = make(size=128, assoc=2)
+        c.fill(0, dirty=True)
+        c.fill(1)
+        r = c.fill(2)
+        assert r.victim == 0 and r.victim_dirty
+
+
+class TestInvalidateClean:
+    def test_invalidate_removes(self):
+        c = make()
+        c.access(4, True)
+        assert c.invalidate(4) is True  # was dirty
+        assert not c.contains(4)
+
+    def test_invalidate_clean_line(self):
+        c = make()
+        c.access(4, False)
+        assert c.invalidate(4) is False
+
+    def test_invalidate_absent_line(self):
+        c = make()
+        assert c.invalidate(99) is False
+
+    def test_clean_downgrades(self):
+        c = make()
+        c.access(4, True)
+        assert c.clean(4) is True
+        assert c.contains(4) and not c.is_dirty(4)
+        assert c.clean(4) is False
+
+    def test_reset_stats(self):
+        c = make()
+        c.access(1, False)
+        c.access(1, False)
+        c.reset_stats()
+        assert c.hits == c.misses == c.evictions == c.writebacks == 0
+        assert c.contains(1)  # contents survive
+
+
+# -- property-based tests -----------------------------------------------------
+
+@st.composite
+def access_sequences(draw):
+    lines = draw(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+    writes = draw(st.lists(st.booleans(), min_size=len(lines), max_size=len(lines)))
+    return list(zip(lines, writes))
+
+
+class ReferenceCache:
+    """Oracle model: per-set list with explicit LRU, O(n) everything."""
+
+    def __init__(self, num_sets, assoc):
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.sets = {i: [] for i in range(num_sets)}  # (line, dirty) MRU first
+
+    def access(self, line, write):
+        s = self.sets[line % self.num_sets]
+        for i, (l, d) in enumerate(s):
+            if l == line:
+                s.pop(i)
+                s.insert(0, (line, d or write))
+                return ("hit", None)
+        victim = s.pop() if len(s) >= self.assoc else None
+        s.insert(0, (line, write))
+        return ("miss", victim)
+
+
+@given(access_sequences(), st.sampled_from([1, 2, 4, 8]))
+@settings(max_examples=60, deadline=None)
+def test_matches_reference_model(seq, assoc):
+    size = 16 * assoc * 64  # 16 sets
+    cache = SetAssocCache(size, assoc)
+    ref = ReferenceCache(16, assoc)
+    for line, write in seq:
+        result = cache.access(line, write)
+        kind, victim = ref.access(line, write)
+        assert result.hit == (kind == "hit")
+        if victim is not None:
+            assert result.victim == victim[0]
+            assert result.victim_dirty == victim[1]
+        else:
+            assert result.victim is None
+
+
+@given(access_sequences())
+@settings(max_examples=40, deadline=None)
+def test_occupancy_never_exceeds_capacity(seq):
+    cache = SetAssocCache(1024, 2)
+    for line, write in seq:
+        cache.access(line, write)
+        assert cache.occupancy <= 1024 // 64
+
+@given(access_sequences())
+@settings(max_examples=40, deadline=None)
+def test_hits_plus_misses_equals_accesses(seq):
+    cache = SetAssocCache(2048, 4)
+    for line, write in seq:
+        cache.access(line, write)
+    assert cache.hits + cache.misses == len(seq)
+
+
+@given(access_sequences())
+@settings(max_examples=40, deadline=None)
+def test_most_recent_access_always_resident(seq):
+    cache = SetAssocCache(512, 2)
+    for line, write in seq:
+        cache.access(line, write)
+        assert cache.contains(line)

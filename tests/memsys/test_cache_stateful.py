@@ -1,0 +1,145 @@
+"""Stateful testing of SetAssocCache across its full operation set.
+
+The property suite in test_cache.py covers demand accesses; this
+machine also interleaves probes, protocol fills, invalidations,
+downgrades and dirty-marking, comparing against a transparent
+reference after every operation.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.memsys.cache import SetAssocCache
+
+NUM_SETS = 4
+ASSOC = 2
+LINES = st.integers(0, 23)
+
+
+class RefCache:
+    """Reference: per-set MRU-first list of (line, dirty)."""
+
+    def __init__(self):
+        self.sets = {i: [] for i in range(NUM_SETS)}
+
+    def _find(self, line):
+        s = self.sets[line % NUM_SETS]
+        for i, (l, d) in enumerate(s):
+            if l == line:
+                return s, i, d
+        return s, None, None
+
+    def access(self, line, write):
+        s, i, d = self._find(line)
+        if i is not None:
+            s.pop(i)
+            s.insert(0, (line, d or write))
+            return True, None
+        victim = s.pop() if len(s) >= ASSOC else None
+        s.insert(0, (line, write))
+        return False, victim
+
+    def probe(self, line, write):
+        s, i, d = self._find(line)
+        if i is None:
+            return False
+        s.pop(i)
+        s.insert(0, (line, d or write))
+        return True
+
+    def fill(self, line, dirty):
+        s, i, d = self._find(line)
+        if i is not None:
+            if dirty:
+                s[i] = (line, True)
+            return None
+        victim = s.pop() if len(s) >= ASSOC else None
+        s.insert(0, (line, dirty))
+        return victim
+
+    def invalidate(self, line):
+        s, i, d = self._find(line)
+        if i is None:
+            return False
+        s.pop(i)
+        return d
+
+    def clean(self, line):
+        s, i, d = self._find(line)
+        if i is not None and d:
+            s[i] = (line, False)
+            return True
+        return False
+
+    def mark_dirty(self, line):
+        s, i, d = self._find(line)
+        if i is None:
+            return False
+        s[i] = (line, True)  # no LRU move
+        return True
+
+    def contents(self):
+        return {
+            idx: list(ways) for idx, ways in self.sets.items()
+        }
+
+
+class CacheMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cache = SetAssocCache(NUM_SETS * ASSOC * 64, ASSOC)
+        self.ref = RefCache()
+
+    @rule(line=LINES, write=st.booleans())
+    def access(self, line, write):
+        result = self.cache.access(line, write)
+        hit, victim = self.ref.access(line, write)
+        assert result.hit == hit
+        if victim is not None:
+            assert result.victim == victim[0]
+            assert result.victim_dirty == victim[1]
+        else:
+            assert result.victim is None
+
+    @rule(line=LINES, write=st.booleans())
+    def probe(self, line, write):
+        assert self.cache.probe(line, write) == self.ref.probe(line, write)
+
+    @rule(line=LINES, dirty=st.booleans())
+    def fill(self, line, dirty):
+        result = self.cache.fill(line, dirty)
+        victim = self.ref.fill(line, dirty)
+        if victim is not None:
+            assert result.victim == victim[0]
+            assert result.victim_dirty == victim[1]
+
+    @rule(line=LINES)
+    def invalidate(self, line):
+        assert self.cache.invalidate(line) == self.ref.invalidate(line)
+
+    @rule(line=LINES)
+    def clean(self, line):
+        assert self.cache.clean(line) == self.ref.clean(line)
+
+    @rule(line=LINES)
+    def mark_dirty(self, line):
+        assert self.cache.mark_dirty(line) == self.ref.mark_dirty(line)
+
+    @invariant()
+    def same_contents_and_order(self):
+        for idx, ways in self.ref.contents().items():
+            assert self.cache._sets[idx] == [l for l, _ in ways]
+            assert self.cache._dirty[idx] == {l for l, d in ways if d}
+
+    @invariant()
+    def occupancy_bounded(self):
+        assert self.cache.occupancy <= NUM_SETS * ASSOC
+
+
+CacheMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=50, deadline=None
+)
+TestCacheStateMachine = CacheMachine.TestCase

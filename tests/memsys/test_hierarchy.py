@@ -1,0 +1,104 @@
+"""Tests for the per-node L1/L2 hierarchy (inclusion, dirty tracking)."""
+
+from repro.memsys.hierarchy import HierarchyLevel, NodeCaches
+
+
+def make(l2_size=4096, l2_assoc=2, l1_size=512, l1_assoc=2):
+    return NodeCaches(l2_size, l2_assoc, l1_size=l1_size, l1_assoc=l1_assoc)
+
+
+class TestAccessPath:
+    def test_cold_miss(self):
+        n = make()
+        assert n.access(1, False, False).level is HierarchyLevel.MISS
+
+    def test_l1_hit_after_fill(self):
+        n = make()
+        n.access(1, False, False)
+        assert n.access(1, False, False).level is HierarchyLevel.L1
+
+    def test_l2_hit_after_l1_eviction(self):
+        n = make(l1_size=128, l1_assoc=1)  # 2-line L1
+        n.access(0, False, False)
+        n.access(2, False, False)  # evicts 0 from L1 set 0 (2 sets: 0->0, 2->0)
+        result = n.access(0, False, False)
+        assert result.level is HierarchyLevel.L2
+
+    def test_split_l1(self):
+        n = make()
+        n.access(1, False, True)   # instruction fetch
+        # Same line as data: misses the L1D but hits the (inclusive) L2.
+        assert n.access(1, False, False).level is HierarchyLevel.L2
+
+    def test_write_dirties_l2(self):
+        n = make()
+        n.access(5, True, False)
+        assert n.l2.is_dirty(5)
+        assert n.holds_dirty(5)
+
+    def test_write_hit_in_l1_propagates_dirty_to_l2(self):
+        n = make()
+        n.access(5, False, False)
+        assert not n.l2.is_dirty(5)
+        n.access(5, True, False)  # L1 hit
+        assert n.l2.is_dirty(5)
+
+
+class TestInclusion:
+    def test_l2_eviction_purges_l1(self):
+        # L2: 1 set x 2 ways; L1: large enough to hold everything.
+        n = make(l2_size=128, l2_assoc=2, l1_size=512, l1_assoc=2)
+        n.access(0, False, False)
+        n.access(1, False, False)
+        result = n.access(2, False, False)  # evicts 0 from L2
+        assert result.victim == 0
+        assert not n.l1d.contains(0)
+
+    def test_l2_eviction_of_dirty_l1_line_reports_dirty(self):
+        n = make(l2_size=128, l2_assoc=2, l1_size=512)
+        n.access(0, True, False)
+        n.access(1, False, False)
+        result = n.access(2, False, False)
+        assert result.victim == 0 and result.victim_dirty
+
+    def test_l2_eviction_purges_l1i(self):
+        n = make(l2_size=128, l2_assoc=2, l1_size=512)
+        n.access(0, False, True)
+        n.access(1, False, True)
+        n.access(2, False, True)
+        assert not n.l1i.contains(0)
+
+
+class TestExternalOps:
+    def test_invalidate_clean(self):
+        n = make()
+        n.access(3, False, False)
+        assert n.invalidate(3) is False
+        assert not n.holds(3)
+
+    def test_invalidate_dirty(self):
+        n = make()
+        n.access(3, True, False)
+        assert n.invalidate(3) is True
+        assert not n.holds(3)
+
+    def test_downgrade_returns_dirtiness_and_keeps_line(self):
+        n = make()
+        n.access(3, True, False)
+        assert n.downgrade(3) is True
+        assert n.holds(3)
+        assert not n.holds_dirty(3)
+        assert n.downgrade(3) is False
+
+    def test_holds_reflects_l2(self):
+        n = make()
+        n.access(9, False, True)
+        assert n.holds(9)
+        assert not n.holds(10)
+
+    def test_reset_stats_preserves_contents(self):
+        n = make()
+        n.access(1, False, False)
+        n.reset_stats()
+        assert n.l2.hits == 0
+        assert n.holds(1)

@@ -1,0 +1,73 @@
+"""Tests for the remote access cache."""
+
+from repro.memsys.rac import RemoteAccessCache
+
+
+def make(size=4096, assoc=4):
+    return RemoteAccessCache(size, assoc)
+
+
+class TestLookup:
+    def test_miss_counts_probe_not_hit(self):
+        r = make()
+        assert r.lookup(1, False) is False
+        assert r.probes == 1 and r.hits == 0
+        assert not r.holds(1)  # lookup never fills
+
+    def test_hit_after_allocate(self):
+        r = make()
+        r.allocate(1)
+        assert r.lookup(1, False) is True
+        assert r.probes == 1 and r.hits == 1
+
+    def test_hit_rate(self):
+        r = make()
+        r.allocate(1)
+        r.lookup(1, False)
+        r.lookup(2, False)
+        assert r.hit_rate == 0.5
+
+    def test_hit_rate_no_probes(self):
+        assert make().hit_rate == 0.0
+
+    def test_write_hit_marks_dirty(self):
+        r = make()
+        r.allocate(1)
+        r.lookup(1, True)
+        assert r.holds_dirty(1)
+
+
+class TestAllocate:
+    def test_allocate_dirty(self):
+        r = make()
+        r.allocate(5, dirty=True)
+        assert r.holds_dirty(5)
+
+    def test_allocate_eviction_reported(self):
+        r = RemoteAccessCache(128, 2)  # one set, two ways
+        r.allocate(0, dirty=True)
+        r.allocate(1)
+        out = r.allocate(2)
+        assert out.victim == 0 and out.victim_dirty
+
+    def test_allocate_does_not_count_probe(self):
+        r = make()
+        r.allocate(5)
+        assert r.probes == 0
+
+
+class TestInvalidate:
+    def test_invalidate_dirty(self):
+        r = make()
+        r.allocate(5, dirty=True)
+        assert r.invalidate(5) is True
+        assert not r.holds(5)
+
+    def test_invalidate_absent(self):
+        assert make().invalidate(5) is False
+
+
+def test_default_geometry_is_paper_rac():
+    r = RemoteAccessCache()
+    assert r.cache.size == 8 * 1024 * 1024
+    assert r.cache.assoc == 8

@@ -1,0 +1,126 @@
+"""Tests for the L2 victim buffer."""
+
+import pytest
+
+from repro.memsys.hierarchy import HierarchyLevel, NodeCaches
+from repro.memsys.victim import VictimBuffer
+
+
+class TestBuffer:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            VictimBuffer(0)
+
+    def test_insert_and_extract(self):
+        vb = VictimBuffer(4)
+        vb.insert(10, dirty=True)
+        assert vb.holds(10) and vb.is_dirty(10)
+        assert vb.extract(10) is True
+        assert not vb.holds(10)
+
+    def test_extract_miss_returns_none(self):
+        vb = VictimBuffer(4)
+        assert vb.extract(10) is None
+        assert vb.probes == 1 and vb.hits == 0
+
+    def test_overflow_displaces_oldest(self):
+        vb = VictimBuffer(2)
+        assert vb.insert(1, False) is None
+        assert vb.insert(2, True) is None
+        displaced = vb.insert(3, False)
+        assert displaced == (1, False)
+        assert len(vb) == 2
+
+    def test_reinsert_refreshes_position(self):
+        vb = VictimBuffer(2)
+        vb.insert(1, False)
+        vb.insert(2, False)
+        vb.insert(1, False)          # 1 becomes MRU again
+        displaced = vb.insert(3, False)
+        assert displaced == (2, False)
+
+    def test_displaced_dirty_flag(self):
+        vb = VictimBuffer(1)
+        vb.insert(1, True)
+        assert vb.insert(2, False) == (1, True)
+
+    def test_invalidate(self):
+        vb = VictimBuffer(4)
+        vb.insert(5, True)
+        assert vb.invalidate(5) is True
+        assert vb.invalidate(5) is False
+
+    def test_clean(self):
+        vb = VictimBuffer(4)
+        vb.insert(5, True)
+        assert vb.clean(5) is True
+        assert vb.holds(5) and not vb.is_dirty(5)
+
+    def test_hit_rate(self):
+        vb = VictimBuffer(4)
+        vb.insert(5, False)
+        vb.extract(5)
+        vb.extract(6)
+        assert vb.hit_rate == 0.5
+
+
+class TestHierarchyWithVictimBuffer:
+    def make(self, vb=2):
+        # L2: one set, one way -> every distinct line evicts the last.
+        return NodeCaches(64, 1, l1_size=128, l1_assoc=2, victim_entries=vb)
+
+    def test_conflict_pair_served_by_buffer(self):
+        n = self.make()
+        n.access(0, False, False)          # miss; L2 holds 0
+        r = n.access(1, False, False)      # evicts 0 into the buffer
+        assert r.level is HierarchyLevel.MISS
+        assert r.victim is None            # buffered, not evicted
+        # Inclusion purged 0 from the L1 too; the re-access swaps it
+        # back from the victim buffer instead of going to memory.
+        r = n.access(0, False, False)
+        assert r.level is HierarchyLevel.VICTIM
+
+    def test_victim_hit_after_l1_pressure(self):
+        # Tiny L1 (one set, one way) so the L1 cannot mask the L2 swap.
+        n = NodeCaches(64, 1, l1_size=64, l1_assoc=1, victim_entries=2)
+        n.access(0, False, False)
+        n.access(1, False, False)          # L2 evicts 0 -> buffer
+        r = n.access(0, False, False)      # L1 miss, L2 miss, buffer hit
+        assert r.level is HierarchyLevel.VICTIM
+        assert n.l2.contains(0)            # swapped back
+
+    def test_dirty_survives_the_round_trip(self):
+        n = NodeCaches(64, 1, l1_size=64, l1_assoc=1, victim_entries=2)
+        n.access(0, True, False)
+        n.access(1, False, False)
+        assert n.victim.is_dirty(0)
+        n.access(0, False, False)          # swap back
+        assert n.l2.is_dirty(0)
+
+    def test_overflow_finally_evicts(self):
+        n = NodeCaches(64, 1, l1_size=64, l1_assoc=1, victim_entries=1)
+        n.access(0, True, False)
+        n.access(1, False, False)          # 0 -> buffer
+        r = n.access(2, False, False)      # 1 -> buffer, 0 displaced
+        assert r.level is HierarchyLevel.MISS
+        assert r.victim == 0 and r.victim_dirty
+
+    def test_holds_and_dirty_include_buffer(self):
+        n = NodeCaches(64, 1, l1_size=64, l1_assoc=1, victim_entries=2)
+        n.access(0, True, False)
+        n.access(1, False, False)
+        assert n.holds(0) and n.holds_dirty(0)
+
+    def test_external_invalidate_reaches_buffer(self):
+        n = NodeCaches(64, 1, l1_size=64, l1_assoc=1, victim_entries=2)
+        n.access(0, True, False)
+        n.access(1, False, False)
+        assert n.invalidate(0) is True
+        assert not n.holds(0)
+
+    def test_downgrade_reaches_buffer(self):
+        n = NodeCaches(64, 1, l1_size=64, l1_assoc=1, victim_entries=2)
+        n.access(0, True, False)
+        n.access(1, False, False)
+        assert n.downgrade(0) is True
+        assert n.holds(0) and not n.holds_dirty(0)

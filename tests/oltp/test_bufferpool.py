@@ -1,0 +1,146 @@
+"""Tests for the SGA block buffer pool."""
+
+import pytest
+
+from repro.oltp.bufferpool import BufferPool
+from repro.oltp.tracing import EngineTracer
+
+
+class RecordingTracer(EngineTracer):
+    """Collects hook calls for assertion."""
+
+    def __init__(self):
+        self.meta = []
+        self.syscalls = []
+        self.code = []
+
+    def on_meta(self, struct, index, write, dependent=False):
+        self.meta.append((struct, index, write, dependent))
+
+    def on_syscall(self, name, payload_bytes=0, obj=0):
+        self.syscalls.append(name)
+
+    def on_code(self, routine, units=1):
+        self.code.append(routine)
+
+
+class TestPoolBasics:
+    def test_rejects_zero_frames(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+    def test_first_get_is_a_miss(self):
+        pool = BufferPool(8)
+        pool.get(42, for_write=False)
+        assert pool.stats.gets == 1
+        assert pool.stats.hits == 0
+        assert pool.stats.disk_reads == 1
+
+    def test_second_get_hits(self):
+        pool = BufferPool(8)
+        f1 = pool.get(42, False)
+        f2 = pool.get(42, False)
+        assert f1 == f2
+        assert pool.stats.hits == 1
+
+    def test_distinct_blocks_get_distinct_frames(self):
+        pool = BufferPool(8)
+        frames = {pool.get(b, False) for b in range(5)}
+        assert len(frames) == 5
+
+    def test_write_marks_dirty(self):
+        pool = BufferPool(8)
+        frame = pool.get(42, True)
+        assert pool.is_dirty(frame)
+
+    def test_read_does_not_mark_dirty(self):
+        pool = BufferPool(8)
+        frame = pool.get(42, False)
+        assert not pool.is_dirty(frame)
+
+
+class TestReplacement:
+    def test_lru_eviction_order(self):
+        pool = BufferPool(2)
+        pool.get(1, False)
+        pool.get(2, False)
+        pool.get(1, False)      # 1 is now MRU
+        pool.get(3, False)      # evicts 2
+        assert pool.frame_holding(2) is None
+        assert pool.frame_holding(1) is not None
+
+    def test_dirty_victim_writes_to_disk(self):
+        pool = BufferPool(1)
+        pool.get(1, True)
+        pool.get(2, False)
+        assert pool.stats.disk_writes == 1
+
+    def test_resident_blocks_bounded_by_frames(self):
+        pool = BufferPool(4)
+        for b in range(20):
+            pool.get(b, False)
+        assert pool.resident_blocks == 4
+
+
+class TestDbwr:
+    def test_flush_clears_dirty(self):
+        pool = BufferPool(8)
+        f = pool.get(1, True)
+        pool.get(2, True)
+        flushed = pool.flush_frames(10)
+        assert flushed == 2
+        assert not pool.is_dirty(f)
+        assert pool.stats.disk_writes == 2
+
+    def test_flush_respects_batch_limit(self):
+        pool = BufferPool(8)
+        for b in range(5):
+            pool.get(b, True)
+        assert pool.flush_frames(2) == 2
+        assert len(pool.dirty_frames) == 3
+
+    def test_flush_empty_pool(self):
+        assert BufferPool(8).flush_frames(4) == 0
+
+
+class TestTracing:
+    def test_hit_traces_latch_hash_and_header(self):
+        t = RecordingTracer()
+        pool = BufferPool(8, t)
+        pool.get(42, False)
+        t.meta.clear()
+        t.syscalls.clear()
+        pool.get(42, False)
+        structs = [m[0] for m in t.meta]
+        assert "latch" in structs
+        assert "buf_hash" in structs
+        assert "buf_header" in structs
+        assert not t.syscalls  # no I/O on a hit
+
+    def test_header_write_churn_on_every_pin(self):
+        t = RecordingTracer()
+        pool = BufferPool(8, t)
+        pool.get(42, False)
+        t.meta.clear()
+        pool.get(42, False)  # read pin still writes the header
+        assert ("buf_header", 0, True, False) in [
+            (s, i, w, d) for s, i, w, d in t.meta if s == "buf_header" and w
+        ] or any(s == "buf_header" and w for s, i, w, d in t.meta)
+
+    def test_miss_traces_disk_read(self):
+        t = RecordingTracer()
+        pool = BufferPool(8, t)
+        pool.get(42, False)
+        assert "disk_read" in t.syscalls
+
+    def test_hash_lookup_is_dependent(self):
+        t = RecordingTracer()
+        pool = BufferPool(8, t)
+        pool.get(42, False)
+        hash_probes = [m for m in t.meta if m[0] == "buf_hash"]
+        assert hash_probes and hash_probes[0][3] is True
+
+    def test_deterministic_bucket(self):
+        pool = BufferPool(64)
+        assert pool._bucket_of(42) == pool._bucket_of(42)
+        assert 0 <= pool._bucket_of(42) < pool.num_buckets

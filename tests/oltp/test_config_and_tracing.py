@@ -1,0 +1,84 @@
+"""Tests for workload configuration scaling rules and tracer plumbing."""
+
+import pytest
+
+from repro.oltp.config import WorkloadConfig
+from repro.oltp.tracing import EngineTracer, NullTracer, ProcessContext
+
+
+class TestWorkloadConfig:
+    def test_paper_defaults(self):
+        cfg = WorkloadConfig.build(ncpus=8, scale=32)
+        assert cfg.num_servers == 64
+        assert cfg.servers_per_cpu == 8
+        assert cfg.tpcb.branches == 40
+
+    def test_scaling_divides_big_footprints(self):
+        # Scales chosen away from the size floors.
+        small = WorkloadConfig.build(scale=16)
+        big = WorkloadConfig.build(scale=4)
+        assert big.text_hot_bytes == 4 * small.text_hot_bytes
+        assert big.buffer_frames == 4 * small.buffer_frames
+        assert big.log_buffer_bytes == 4 * small.log_buffer_bytes
+
+    def test_floors_prevent_degeneracy(self):
+        cfg = WorkloadConfig.build(scale=100_000)
+        assert cfg.pga_hot_bytes >= 512
+        assert cfg.buffer_frames >= 256
+        assert cfg.lock_slots >= 64
+        assert cfg.index_entry_bytes >= 2
+
+    def test_index_entry_bytes_scale(self):
+        assert WorkloadConfig.build(scale=1).index_entry_bytes == 16
+        assert WorkloadConfig.build(scale=4).index_entry_bytes == 4
+        assert WorkloadConfig.build(scale=32).index_entry_bytes == 2
+
+    @pytest.mark.parametrize("kwargs", [
+        {"ncpus": 0}, {"scale": 0}, {"ncpus": 2, "servers_per_cpu": 0},
+    ])
+    def test_rejects_nonpositive(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadConfig.build(**kwargs)
+
+    def test_frozen(self):
+        cfg = WorkloadConfig.build()
+        with pytest.raises(Exception):
+            cfg.scale = 5
+
+
+class TestProcessContext:
+    def test_pga_defaults_to_index(self):
+        p = ProcessContext("server", 3, cpu=1)
+        assert p.pga_id == 3
+
+    def test_explicit_pga(self):
+        p = ProcessContext("lgwr", 0, cpu=2, pga_id=64)
+        assert p.pga_id == 64
+
+    def test_repr_mentions_kind_and_cpu(self):
+        assert "server#3" in repr(ProcessContext("server", 3, cpu=1))
+
+
+class TestNullTracer:
+    def test_all_hooks_are_noops(self):
+        t = NullTracer()
+        t.on_switch(ProcessContext("server", 0, 0))
+        t.on_code("sql_parse", units=2)
+        t.on_frame(0, 0, 64, True)
+        t.on_meta("latch", 0, True, dependent=True)
+        t.on_pga(0, 64, False)
+        t.on_log(0, 64, True)
+        t.on_syscall("pipe_read", 128, obj=3)
+        t.on_txn_boundary(1)
+
+    def test_base_tracer_is_subclassable_piecemeal(self):
+        hits = []
+
+        class OnlyCode(EngineTracer):
+            def on_code(self, routine, units=1):
+                hits.append(routine)
+
+        t = OnlyCode()
+        t.on_code("sql_parse")
+        t.on_frame(0, 0, 64, True)  # inherited no-op
+        assert hits == ["sql_parse"]

@@ -1,0 +1,137 @@
+"""Tests for the OLTP engine: execution, daemons, invariants."""
+
+import pytest
+
+from repro.oltp.config import WorkloadConfig
+from repro.oltp.engine import OracleEngine
+from repro.oltp.tracing import EngineTracer
+from repro.oltp.txn import TpcbTransaction
+
+
+def make_engine(ncpus=1, tracer=None, seed=3):
+    config = WorkloadConfig.build(ncpus=ncpus, scale=128, seed=seed)
+    return OracleEngine(config, tracer)
+
+
+class CountingTracer(EngineTracer):
+    def __init__(self):
+        self.switches = []
+        self.routines = []
+        self.boundaries = 0
+
+    def on_switch(self, process):
+        self.switches.append((process.kind, process.index, process.cpu))
+
+    def on_code(self, routine, units=1):
+        self.routines.append(routine)
+
+    def on_txn_boundary(self, committed):
+        self.boundaries = committed
+
+
+class TestExecution:
+    def test_run_commits_requested_count(self):
+        engine = make_engine()
+        assert engine.run(25) == 25
+        assert engine.stats.committed == 25
+
+    def test_database_consistent_after_run(self):
+        engine = make_engine()
+        engine.run(60)
+        engine.db.check_consistency()
+
+    def test_history_rows_match_commits(self):
+        engine = make_engine()
+        engine.run(30)
+        assert engine.db.history_count == 30
+
+    def test_locks_released_after_each_txn(self):
+        engine = make_engine()
+        engine.run(20)
+        assert engine.locks.locks_held == 0
+
+    def test_run_one_executes_specific_txn(self):
+        engine = make_engine()
+        txn = TpcbTransaction(txn_id=0, teller_id=3, account_id=11, delta=250)
+        engine.run_one(0, txn)
+        assert engine.db.account_balance[11] == 250
+        assert engine.db.teller_balance[3] == 250
+        branch = engine.config.tpcb.branch_of_account(11)
+        assert engine.db.branch_balance[branch] == 250
+
+    def test_deterministic_given_seed(self):
+        a, b = make_engine(seed=9), make_engine(seed=9)
+        a.run(40)
+        b.run(40)
+        assert (a.db.account_balance == b.db.account_balance).all()
+        assert a.stats.remote_account_txns == b.stats.remote_account_txns
+
+    def test_remote_account_txns_tracked(self):
+        engine = make_engine()
+        engine.run(400)
+        frac = engine.stats.remote_account_txns / 400
+        assert 0.05 < frac < 0.30  # around the 15% TPC-B remote rate
+
+
+class TestDaemons:
+    def test_lgwr_runs_every_commit_batch(self):
+        engine = make_engine()
+        engine.run(engine.config.commit_batch * 5)
+        assert engine.stats.lgwr_activations == 5
+
+    def test_lgwr_keeps_log_from_overrunning(self):
+        engine = make_engine()
+        engine.run(300)  # would overrun the buffer without LGWR
+        assert engine.log.unflushed_bytes < engine.log.size
+
+    def test_dbwr_activates(self):
+        engine = make_engine()
+        engine.run(engine.config.dbwr_interval * 3)
+        assert engine.stats.dbwr_activations == 3
+
+    def test_daemon_cpus_rotate(self):
+        tracer = CountingTracer()
+        engine = make_engine(ncpus=4, tracer=tracer)
+        engine.run(120)
+        daemon_cpus = {c for kind, _, c in tracer.switches if kind in ("lgwr", "dbwr")}
+        assert len(daemon_cpus) > 1
+
+
+class TestScheduling:
+    def test_servers_bound_to_cpus_round_robin(self):
+        engine = make_engine(ncpus=4)
+        assert [s.cpu for s in engine.servers[:8]] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_all_servers_get_work(self):
+        tracer = CountingTracer()
+        engine = make_engine(tracer=tracer)
+        engine.run(200)
+        used = {i for kind, i, _ in tracer.switches if kind == "server"}
+        assert used == set(range(engine.config.num_servers))
+
+    def test_txn_boundaries_reported(self):
+        tracer = CountingTracer()
+        engine = make_engine(tracer=tracer)
+        engine.run(12)
+        assert tracer.boundaries == 12
+
+
+class TestPrewarm:
+    def test_prewarm_loads_all_segments(self):
+        engine = make_engine()
+        resident = engine.prewarm()
+        layout = engine.db.layout
+        assert resident == min(layout.total_blocks, engine.pool.num_frames)
+
+    def test_prewarm_produces_no_trace(self):
+        tracer = CountingTracer()
+        engine = make_engine(tracer=tracer)
+        engine.prewarm()
+        assert not tracer.routines
+
+    def test_post_prewarm_runs_mostly_hit_the_pool(self):
+        engine = make_engine()
+        engine.prewarm()
+        engine.pool.stats.gets = engine.pool.stats.hits = 0
+        engine.run(100)
+        assert engine.pool.stats.hit_rate > 0.95

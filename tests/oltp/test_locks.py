@@ -1,0 +1,81 @@
+"""Tests for the lock manager and latches."""
+
+import pytest
+
+from repro.oltp.locks import (
+    LATCHES,
+    NUM_CHAIN_LATCHES,
+    NUM_LATCH_SLOTS,
+    LockConflictError,
+    LockManager,
+    chain_latch_slot,
+)
+
+
+class TestLatches:
+    def test_latch_by_name(self):
+        lm = LockManager()
+        lm.latch("redo_allocation")
+        assert lm.stats.latch_gets == 1
+
+    def test_unknown_latch_raises(self):
+        with pytest.raises(ValueError):
+            LockManager().latch("no_such_latch")
+
+    def test_chain_latch_slots_follow_parents(self):
+        slots = {chain_latch_slot(b) for b in range(200)}
+        assert min(slots) == len(LATCHES)
+        assert max(slots) < NUM_LATCH_SLOTS
+        assert len(slots) == NUM_CHAIN_LATCHES
+
+
+class TestEnqueues:
+    def test_acquire_and_release(self):
+        lm = LockManager()
+        lm.acquire("account", 5, owner=1)
+        assert lm.holder_of("account", 5) == 1
+        assert lm.release_all(1) == 1
+        assert lm.holder_of("account", 5) is None
+
+    def test_reacquire_same_owner_ok(self):
+        lm = LockManager()
+        lm.acquire("teller", 2, owner=9)
+        lm.acquire("teller", 2, owner=9)
+        assert lm.locks_held == 1
+
+    def test_conflict_raises(self):
+        lm = LockManager()
+        lm.acquire("branch", 0, owner=1)
+        with pytest.raises(LockConflictError):
+            lm.acquire("branch", 0, owner=2)
+        assert lm.stats.conflicts == 1
+
+    def test_release_all_only_drops_owner_locks(self):
+        lm = LockManager()
+        lm.acquire("account", 1, owner=1)
+        lm.acquire("account", 2, owner=2)
+        lm.release_all(1)
+        assert lm.holder_of("account", 2) == 2
+        assert lm.locks_held == 1
+
+    def test_release_with_no_locks(self):
+        assert LockManager().release_all(3) == 0
+
+    def test_distinct_kinds_do_not_conflict(self):
+        lm = LockManager()
+        lm.acquire("account", 7, owner=1)
+        lm.acquire("teller", 7, owner=2)  # same id, different kind
+        assert lm.locks_held == 2
+
+    def test_slot_hash_in_range(self):
+        lm = LockManager(num_lock_slots=64)
+        for rid in range(500):
+            assert 0 <= lm._slot_of(("account", rid)) < 64
+
+    def test_stats_accumulate(self):
+        lm = LockManager()
+        lm.acquire("account", 1, owner=1)
+        lm.acquire("teller", 1, owner=1)
+        lm.release_all(1)
+        assert lm.stats.acquires == 2
+        assert lm.stats.releases == 2

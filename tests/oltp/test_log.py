@@ -1,0 +1,100 @@
+"""Tests for the redo log buffer and LGWR flushing."""
+
+import pytest
+
+from repro.oltp.log import RedoLog
+from repro.oltp.tracing import EngineTracer
+
+
+class LogTracer(EngineTracer):
+    def __init__(self):
+        self.log_refs = []
+        self.syscalls = []
+
+    def on_log(self, offset, nbytes, write):
+        self.log_refs.append((offset, nbytes, write))
+
+    def on_syscall(self, name, payload_bytes=0, obj=0):
+        self.syscalls.append((name, payload_bytes))
+
+
+class TestAppend:
+    def test_append_advances_pointer(self):
+        log = RedoLog(1024)
+        assert log.append(100) == 0
+        assert log.append(100) == 100
+        assert log.unflushed_bytes == 200
+
+    def test_append_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RedoLog(1024).append(0)
+
+    def test_rejects_zero_size_buffer(self):
+        with pytest.raises(ValueError):
+            RedoLog(0)
+
+    def test_records_do_not_span_wrap(self):
+        log = RedoLog(256)
+        log.append(200)
+        log.flush()
+        start = log.append(100)  # 56 bytes left at top: must wrap
+        assert start == 0
+        assert log.stats.wraps == 1
+
+    def test_overrun_raises(self):
+        log = RedoLog(256)
+        log.append(200)
+        with pytest.raises(RuntimeError):
+            log.append(100)  # LGWR has not flushed
+
+
+class TestFlush:
+    def test_flush_covers_unflushed_bytes(self):
+        log = RedoLog(1024)
+        log.append(100)
+        log.append(50)
+        assert log.flush() == 150
+        assert log.unflushed_bytes == 0
+
+    def test_flush_empty_is_zero(self):
+        assert RedoLog(1024).flush() == 0
+
+    def test_flush_after_wrap_reads_both_segments(self):
+        t = LogTracer()
+        log = RedoLog(256, t)
+        log.append(200)
+        log.flush()
+        log.append(40)   # offsets 200..240
+        log.append(100)  # wraps to 0
+        t.log_refs.clear()
+        log.flush()
+        reads = [r for r in t.log_refs if not r[2]]
+        assert len(reads) == 2  # split at the wrap point
+        assert reads[0][0] == 200  # tail of the buffer first
+        assert reads[1][0] == 0    # then the wrapped head
+        assert log.unflushed_bytes == 0
+
+    def test_flush_issues_disk_write(self):
+        t = LogTracer()
+        log = RedoLog(1024, t)
+        log.append(64)
+        log.flush()
+        assert ("disk_write", 64) in t.syscalls
+
+
+class TestTracing:
+    def test_appends_trace_writes(self):
+        t = LogTracer()
+        log = RedoLog(1024, t)
+        log.append(96)
+        assert t.log_refs == [(0, 96, True)]
+
+    def test_stats(self):
+        log = RedoLog(1024)
+        log.append(64)
+        log.append(64)
+        log.flush()
+        assert log.stats.appends == 2
+        assert log.stats.bytes_appended == 128
+        assert log.stats.flushes == 1
+        assert log.stats.bytes_flushed == 128

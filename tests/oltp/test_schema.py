@@ -1,0 +1,72 @@
+"""Tests for TPC-B schema scaling and block layout."""
+
+import pytest
+
+from repro.oltp.schema import BLOCK_SIZE, BRANCHES, TELLERS_PER_BRANCH, TpcbScale
+
+
+class TestPaperScaling:
+    def test_unscaled_matches_spec(self):
+        s = TpcbScale.paper(1)
+        assert s.branches == 40
+        assert s.tellers == 400
+        assert s.accounts == 4_000_000
+        assert s.account_row_bytes == 100
+
+    def test_branches_and_tellers_do_not_scale(self):
+        s = TpcbScale.paper(32)
+        assert s.branches == BRANCHES
+        assert s.tellers_per_branch == TELLERS_PER_BRANCH
+
+    def test_accounts_scale(self):
+        assert TpcbScale.paper(32).accounts == 40 * (100_000 // 32)
+
+    def test_row_bytes_scale_with_floor(self):
+        s = TpcbScale.paper(32)
+        assert s.account_row_bytes == 16
+        assert s.teller_row_bytes == 8
+        s = TpcbScale.paper(4)
+        assert s.account_row_bytes == 25
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            TpcbScale.paper(0)
+
+
+class TestLayout:
+    def test_rows_per_block(self):
+        s = TpcbScale.paper(1)
+        assert s.account_rows_per_block == BLOCK_SIZE // 100
+
+    def test_account_location_roundtrip(self):
+        s = TpcbScale.paper(8)
+        rows = s.account_rows_per_block
+        blk, off = s.account_location(rows + 3)
+        assert blk == 1
+        assert off == 3 * s.account_row_bytes
+
+    def test_block_counts_cover_all_rows(self):
+        s = TpcbScale.paper(16)
+        last_blk, _ = s.account_location(s.accounts - 1)
+        assert last_blk == s.account_blocks - 1
+        last_blk, _ = s.teller_location(s.tellers - 1)
+        assert last_blk == s.teller_blocks - 1
+
+    def test_offsets_stay_inside_block(self):
+        s = TpcbScale.paper(32)
+        for aid in range(0, s.accounts, 997):
+            _, off = s.account_location(aid)
+            assert 0 <= off < BLOCK_SIZE
+
+
+class TestOwnership:
+    def test_branch_of_teller(self):
+        s = TpcbScale.paper(1)
+        assert s.branch_of_teller(0) == 0
+        assert s.branch_of_teller(10) == 1
+        assert s.branch_of_teller(399) == 39
+
+    def test_branch_of_account(self):
+        s = TpcbScale.paper(1)
+        assert s.branch_of_account(0) == 0
+        assert s.branch_of_account(100_000) == 1

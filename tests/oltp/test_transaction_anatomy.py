@@ -1,0 +1,128 @@
+"""The anatomy of one TPC-B transaction, as seen by the tracer.
+
+This is the engine's behavioural contract: the ordered sequence of
+code paths and structure touches a transaction performs.  If the
+engine changes shape (phases added, reordered or dropped), this test
+fails loudly — the trace layer's realism rests on this sequence.
+"""
+
+from repro.oltp.config import WorkloadConfig
+from repro.oltp.engine import OracleEngine
+from repro.oltp.tracing import EngineTracer
+from repro.oltp.txn import TpcbTransaction
+
+
+class SequenceTracer(EngineTracer):
+    def __init__(self):
+        self.events = []
+
+    def on_switch(self, process):
+        self.events.append(("switch", process.kind))
+
+    def on_code(self, routine, units=1):
+        self.events.append(("code", routine))
+
+    def on_meta(self, struct, index, write, dependent=False):
+        self.events.append(("meta", struct, write))
+
+    def on_frame(self, frame_id, offset, nbytes, write, dependent=False):
+        self.events.append(("frame", write))
+
+    def on_pga(self, offset, nbytes, write):
+        self.events.append(("pga", write))
+
+    def on_log(self, offset, nbytes, write):
+        self.events.append(("log", write))
+
+    def on_syscall(self, name, payload_bytes=0, obj=0):
+        self.events.append(("syscall", name))
+
+    def on_txn_boundary(self, committed):
+        self.events.append(("boundary", committed))
+
+
+def run_one_txn():
+    tracer = SequenceTracer()
+    config = WorkloadConfig.build(ncpus=1, scale=128, seed=5)
+    engine = OracleEngine(config, tracer)
+    engine.prewarm()
+    tracer.events.clear()
+    engine.run_one(0, TpcbTransaction(0, teller_id=7, account_id=100, delta=50))
+    return tracer.events
+
+
+def code_sequence(events):
+    return [e[1] for e in events if e[0] == "code"]
+
+
+def test_transaction_phase_order():
+    codes = code_sequence(run_one_txn())
+    # Dispatch, SQL layer, then three index-searched row updates, a
+    # history insert, and the commit.
+    must_appear_in_order = [
+        "ctx_switch", "sql_parse", "sql_execute",
+        "idx_search", "buf_get", "row_update",   # account
+        "idx_search", "buf_get", "row_update",   # teller
+        "idx_search", "buf_get", "row_update",   # branch
+        "buf_get", "row_insert",                  # history
+        "txn_commit", "ctx_switch",
+    ]
+    it = iter(codes)
+    for expected in must_appear_in_order:
+        assert any(c == expected for c in it), (
+            f"phase {expected!r} missing or out of order in {codes}"
+        )
+
+
+def test_pipe_roundtrip_brackets_the_transaction():
+    events = run_one_txn()
+    syscalls = [e[1] for e in events if e[0] == "syscall"]
+    assert syscalls[0] == "pipe_read"
+    assert "pipe_write" in syscalls
+    assert syscalls.index("pipe_read") < syscalls.index("pipe_write")
+
+
+def test_three_updates_touch_rows_read_then_write():
+    events = run_one_txn()
+    frames = [e for e in events if e[0] == "frame"]
+    # Each of the four row operations reads then writes (the insert
+    # only writes) plus one read per index-descent level.
+    writes = [f for f in frames if f[1]]
+    reads = [f for f in frames if not f[1]]
+    assert len(writes) >= 4
+    assert len(reads) >= 3 * 2  # at least the three row reads + descents
+
+
+def test_redo_generated_before_commit_marker():
+    events = run_one_txn()
+    log_writes = [i for i, e in enumerate(events) if e[0] == "log" and e[1]]
+    commit = next(i for i, e in enumerate(events)
+                  if e == ("code", "txn_commit"))
+    # Redo for the updates precedes the commit, and the commit marker
+    # itself is a log write after it.
+    assert any(i < commit for i in log_writes)
+    assert any(i > commit for i in log_writes)
+
+
+def test_locks_taken_before_rows_and_released_by_commit():
+    events = run_one_txn()
+    lock_writes = [i for i, e in enumerate(events)
+                   if e[0] == "meta" and e[1] == "lock" and e[2]]
+    first_frame_write = next(i for i, e in enumerate(events)
+                             if e[0] == "frame" and e[1])
+    assert lock_writes[0] < first_frame_write
+    boundary = next(i for i, e in enumerate(events) if e[0] == "boundary")
+    assert lock_writes[-1] < boundary
+
+
+def test_undo_slot_claimed_and_committed():
+    events = run_one_txn()
+    txnslots = [e for e in events if e[0] == "meta" and e[1] == "txnslot"]
+    assert len(txnslots) >= 3  # claim, commit mark, peer check
+    assert txnslots[0][2] is True  # the claim is a write
+
+
+def test_boundary_reported_once():
+    events = run_one_txn()
+    boundaries = [e for e in events if e[0] == "boundary"]
+    assert boundaries == [("boundary", 1)]

@@ -1,0 +1,78 @@
+"""Tests for TPC-B transaction generation."""
+
+import random
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oltp.schema import TpcbScale
+from repro.oltp.txn import LOCAL_ACCOUNT_PROB, MAX_DELTA, generate_transaction
+
+SCALE = TpcbScale.paper(64)
+
+
+def gen(n, seed=1):
+    rng = random.Random(seed)
+    return [generate_transaction(rng, SCALE, i) for i in range(n)]
+
+
+class TestProfile:
+    def test_ids_in_range(self):
+        for txn in gen(500):
+            assert 0 <= txn.teller_id < SCALE.tellers
+            assert 0 <= txn.account_id < SCALE.accounts
+            assert txn.delta != 0
+            assert abs(txn.delta) <= MAX_DELTA
+
+    def test_txn_ids_sequential(self):
+        txns = gen(50)
+        assert [t.txn_id for t in txns] == list(range(50))
+
+    def test_local_account_rule_85_15(self):
+        txns = gen(4000)
+        local = sum(
+            1 for t in txns
+            if SCALE.branch_of_account(t.account_id) == SCALE.branch_of_teller(t.teller_id)
+        )
+        assert abs(local / len(txns) - LOCAL_ACCOUNT_PROB) < 0.03
+
+    def test_remote_branch_never_equals_home(self):
+        # When the account is remote it must be a *different* branch.
+        for txn in gen(4000, seed=3):
+            home = SCALE.branch_of_teller(txn.teller_id)
+            acct_branch = SCALE.branch_of_account(txn.account_id)
+            assert 0 <= acct_branch < SCALE.branches
+            # (equality allowed: that's the 85% local case)
+
+    def test_deltas_symmetric(self):
+        txns = gen(4000, seed=5)
+        positive = sum(1 for t in txns if t.delta > 0)
+        assert abs(positive / len(txns) - 0.5) < 0.03
+
+    def test_tellers_roughly_uniform(self):
+        txns = gen(8000, seed=7)
+        counts = Counter(t.teller_id % 40 for t in txns)
+        expect = len(txns) / 40
+        assert all(abs(c - expect) < expect * 0.5 for c in counts.values())
+
+    def test_branch_id_is_accounts_branch(self):
+        for txn in gen(100):
+            assert txn.branch_id(SCALE) == SCALE.branch_of_account(txn.account_id)
+
+
+class TestSingleBranch:
+    def test_single_branch_always_local(self):
+        scale = TpcbScale(1, 10, 1000)
+        rng = random.Random(0)
+        for i in range(50):
+            txn = generate_transaction(rng, scale, i)
+            assert scale.branch_of_account(txn.account_id) == 0
+
+
+@given(st.integers(0, 2**31))
+@settings(max_examples=50, deadline=None)
+def test_generation_is_deterministic(seed):
+    a = generate_transaction(random.Random(seed), SCALE, 0)
+    b = generate_transaction(random.Random(seed), SCALE, 0)
+    assert a == b

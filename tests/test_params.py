@@ -1,0 +1,109 @@
+"""Tests for the Figure-3 latency tables and paper constants."""
+
+import pytest
+
+from repro.params import (
+    BASE_L2_ASSOC,
+    BASE_L2_SIZE,
+    L1_ASSOC,
+    L1_SIZE,
+    LINE_SIZE,
+    MP_NODES,
+    SERVERS_PER_CPU,
+    IntegrationLevel,
+    L2Technology,
+    LatencyTable,
+    MissKind,
+    figure3_rows,
+    latencies,
+)
+
+
+class TestFigure2Constants:
+    def test_base_system_parameters(self):
+        assert LINE_SIZE == 64
+        assert L1_SIZE == 64 * 1024 and L1_ASSOC == 2
+        assert BASE_L2_SIZE == 8 * 1024 * 1024 and BASE_L2_ASSOC == 1
+        assert MP_NODES == 8
+        assert SERVERS_PER_CPU == 8
+
+
+class TestFigure3:
+    def test_conservative_base_row(self):
+        t = latencies(IntegrationLevel.CONSERVATIVE_BASE)
+        assert (t.l2_hit, t.local, t.remote_clean, t.remote_dirty) == (30, 150, 225, 325)
+
+    def test_base_direct_mapped_row(self):
+        t = latencies(IntegrationLevel.BASE, l2_assoc=1)
+        assert (t.l2_hit, t.local, t.remote_clean, t.remote_dirty) == (25, 100, 175, 275)
+
+    def test_base_associative_row(self):
+        t = latencies(IntegrationLevel.BASE, l2_assoc=4)
+        assert t.l2_hit == 30  # external set selection penalty
+
+    def test_integrated_sram_row(self):
+        t = latencies(IntegrationLevel.L2, l2_technology=L2Technology.ON_CHIP_SRAM)
+        assert (t.l2_hit, t.local, t.remote_clean, t.remote_dirty) == (15, 100, 175, 275)
+
+    def test_integrated_dram_row(self):
+        t = latencies(IntegrationLevel.L2, l2_technology=L2Technology.ON_CHIP_DRAM)
+        assert t.l2_hit == 25
+
+    def test_l2_mc_row_penalizes_remote_fetch_only(self):
+        t = latencies(IntegrationLevel.L2_MC)
+        assert (t.l2_hit, t.local, t.remote_clean, t.remote_dirty) == (15, 75, 225, 275)
+        assert t.remote_upgrade == 175  # data-less: Base round-trip
+
+    def test_full_row(self):
+        t = latencies(IntegrationLevel.FULL)
+        assert (t.l2_hit, t.local, t.remote_clean, t.remote_dirty) == (15, 75, 150, 200)
+
+    def test_section_2_3_reduction_ratios(self):
+        base = latencies(IntegrationLevel.BASE, l2_assoc=1)
+        full = latencies(IntegrationLevel.FULL)
+        assert base.l2_hit / full.l2_hit == pytest.approx(1.67, abs=0.01)
+        assert base.local / full.local == pytest.approx(1.33, abs=0.01)
+        assert base.remote_clean / full.remote_clean == pytest.approx(1.17, abs=0.01)
+        assert base.remote_dirty / full.remote_dirty == pytest.approx(1.38, abs=0.01)
+
+    def test_figure3_rows_complete_and_ordered(self):
+        rows = figure3_rows()
+        assert len(rows) == 7
+        assert rows[0][0].startswith("Conservative")
+        assert rows[-1][0].endswith("integrated")
+
+    def test_upgrade_defaults_to_remote_clean(self):
+        t = LatencyTable(10, 20, 30, 40)
+        assert t.remote_upgrade == 30
+
+    def test_dram_at_full_integration_keeps_upgrade(self):
+        t = latencies(IntegrationLevel.FULL, l2_technology=L2Technology.ON_CHIP_DRAM)
+        assert t.l2_hit == 25
+        assert t.remote_upgrade == 150
+
+
+class TestLatencyLookup:
+    def test_for_miss(self):
+        t = latencies(IntegrationLevel.BASE, l2_assoc=1)
+        assert t.for_miss(MissKind.LOCAL) == 100
+        assert t.for_miss(MissKind.REMOTE_CLEAN) == 175
+        assert t.for_miss(MissKind.REMOTE_DIRTY) == 275
+
+    def test_for_miss_rejects_non_miss(self):
+        t = latencies(IntegrationLevel.BASE)
+        with pytest.raises(ValueError):
+            t.for_miss("l2hit")
+
+
+class TestIntegrationLevelProperties:
+    @pytest.mark.parametrize("level,l2,mc,cc", [
+        (IntegrationLevel.CONSERVATIVE_BASE, False, False, False),
+        (IntegrationLevel.BASE, False, False, False),
+        (IntegrationLevel.L2, True, False, False),
+        (IntegrationLevel.L2_MC, True, True, False),
+        (IntegrationLevel.FULL, True, True, True),
+    ])
+    def test_on_chip_flags(self, level, l2, mc, cc):
+        assert level.l2_on_chip == l2
+        assert level.mc_on_chip == mc
+        assert level.cc_on_chip == cc

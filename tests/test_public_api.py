@@ -1,0 +1,57 @@
+"""The public API surface: exports exist and __all__ lists are honest."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.memsys",
+    "repro.coherence",
+    "repro.cpu",
+    "repro.oltp",
+    "repro.trace",
+    "repro.stats",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_entries_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+def test_top_level_quickstart_names():
+    import repro
+
+    for symbol in ("MachineConfig", "build_trace", "simulate", "RunResult",
+                   "IntegrationLevel", "LatencyTable"):
+        assert hasattr(repro, symbol)
+
+
+def test_version_is_string():
+    import repro
+
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_public_docstrings_exist():
+    """Every public module and exported class carries a docstring."""
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} lacks a module docstring"
+        for symbol in getattr(module, "__all__", []):
+            obj = getattr(module, symbol)
+            if isinstance(obj, type) or callable(obj):
+                assert getattr(obj, "__doc__", None), (
+                    f"{name}.{symbol} lacks a docstring"
+                )

@@ -1,0 +1,112 @@
+"""Tests for the measurement containers in repro.stats."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.params import MissKind
+from repro.stats.breakdown import (
+    ExecutionBreakdown,
+    L1Stats,
+    MissBreakdown,
+    ProtocolStats,
+    RacStats,
+)
+
+
+class TestExecutionBreakdown:
+    def test_totals(self):
+        b = ExecutionBreakdown(busy=10, l2_hit=20, local_stall=30,
+                               remote_clean_stall=15, remote_dirty_stall=25)
+        assert b.remote_stall == 40
+        assert b.total == 100
+        assert b.cpu_utilization == 0.1
+
+    def test_empty_utilization(self):
+        assert ExecutionBreakdown().cpu_utilization == 0.0
+
+    def test_add(self):
+        a = ExecutionBreakdown(busy=1, kernel_busy=1, l2_hit=2)
+        a.add(ExecutionBreakdown(busy=3, local_stall=4))
+        assert a.busy == 4 and a.l2_hit == 2 and a.local_stall == 4
+
+    def test_normalized_to(self):
+        b = ExecutionBreakdown(busy=50, l2_hit=150)
+        n = b.normalized_to(400)
+        assert n.busy == 12.5 and n.l2_hit == 37.5
+        assert n.total == 50
+
+    def test_normalized_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ExecutionBreakdown().normalized_to(0)
+
+    def test_as_dict(self):
+        d = ExecutionBreakdown(busy=1, l2_hit=2, local_stall=3,
+                               remote_dirty_stall=4).as_dict()
+        assert d == {"CPU": 1, "L2Hit": 2, "LocStall": 3, "RemStall": 4, "total": 10}
+
+
+class TestMissBreakdown:
+    def test_record_all_kinds(self):
+        m = MissBreakdown()
+        m.record(MissKind.LOCAL, True)
+        m.record(MissKind.REMOTE_CLEAN, True)
+        m.record(MissKind.LOCAL, False)
+        m.record(MissKind.REMOTE_CLEAN, False)
+        m.record(MissKind.REMOTE_DIRTY, False)
+        assert m.i_local == 1 and m.i_remote == 1
+        assert m.d_local == 1 and m.d_remote_clean == 1 and m.d_remote_dirty == 1
+        assert m.instruction == 2 and m.data == 3 and m.total == 5
+        assert m.remote == 3
+
+    def test_instruction_dirty_folds_into_remote(self):
+        m = MissBreakdown()
+        m.record(MissKind.REMOTE_DIRTY, True)
+        assert m.i_remote == 1
+
+    def test_dirty_share(self):
+        m = MissBreakdown(d_remote_dirty=3, d_local=1)
+        assert m.dirty_share == 0.75
+        assert MissBreakdown().dirty_share == 0.0
+
+    def test_normalized(self):
+        m = MissBreakdown(i_local=5, d_remote_dirty=15)
+        n = m.normalized_to(40)
+        assert n["I-Loc"] == 12.5 and n["D-RemDirty"] == 37.5 and n["total"] == 50
+
+    def test_normalized_rejects_zero(self):
+        with pytest.raises(ValueError):
+            MissBreakdown().normalized_to(0)
+
+    def test_add(self):
+        a = MissBreakdown(i_local=1)
+        a.add(MissBreakdown(i_local=2, d_local=3))
+        assert a.i_local == 3 and a.d_local == 3
+
+    @given(st.lists(st.tuples(
+        st.sampled_from(list(MissKind)), st.booleans()), max_size=100))
+    def test_total_equals_records(self, events):
+        m = MissBreakdown()
+        for kind, instr in events:
+            m.record(kind, instr)
+        assert m.total == len(events)
+        assert m.instruction + m.data == m.total
+
+
+class TestSmallStats:
+    def test_protocol_invalidations_per_write(self):
+        p = ProtocolStats(invalidations=5, writes=20)
+        assert p.invalidations_per_write == 0.25
+        assert ProtocolStats().invalidations_per_write == 0.0
+
+    def test_rac_hit_rate(self):
+        r = RacStats(probes=10, hits=3)
+        assert r.hit_rate == 0.3
+        assert RacStats().hit_rate == 0.0
+
+    def test_l1_miss_rates(self):
+        l1 = L1Stats(i_refs=100, i_misses=25, d_refs=50, d_misses=10)
+        assert l1.i_miss_rate == 0.25
+        assert l1.d_miss_rate == 0.2
+        assert L1Stats().i_miss_rate == 0.0
+        assert L1Stats().d_miss_rate == 0.0

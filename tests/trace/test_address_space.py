@@ -1,0 +1,156 @@
+"""Tests for the address-space model and page colouring."""
+
+from collections import defaultdict
+
+from repro.oltp.config import WorkloadConfig
+from repro.params import LINE_SIZE
+from repro.trace.address_space import MemoryModel
+
+
+def make(ncpus=1, scale=128, seed=5):
+    return MemoryModel(WorkloadConfig.build(ncpus=ncpus, scale=scale, seed=5), seed=seed)
+
+
+class TestRegions:
+    def test_regions_do_not_overlap(self):
+        model = make()
+        spans = sorted((r.base, r.end, r.name) for r in model.regions.values())
+        for (b0, e0, n0), (b1, e1, n1) in zip(spans, spans[1:]):
+            assert e0 <= b1, f"{n0} overlaps {n1}"
+
+    def test_regions_page_aligned(self):
+        model = make()
+        for region in model.regions.values():
+            assert region.base % model.page_bytes == 0
+
+    def test_guard_page_between_regions(self):
+        model = make()
+        spans = sorted((r.base, r.end) for r in model.regions.values())
+        for (b0, e0), (b1, e1) in zip(spans, spans[1:]):
+            assert b1 - e0 >= 1  # at least the guard gap
+
+    def test_expected_regions_exist(self):
+        model = make(ncpus=2)
+        names = set(model.regions)
+        for required in ("text_hot", "ktext_hot", "sga_buffer", "sga_hash",
+                         "sga_headers", "sga_locks", "sga_latch", "sga_txnslot",
+                         "log", "kproc", "kpipe", "krunq", "kglobal", "pga0"):
+            assert required in names
+
+    def test_one_pga_per_process(self):
+        config = WorkloadConfig.build(ncpus=2, scale=128)
+        model = MemoryModel(config)
+        pgas = [n for n in model.regions if n.startswith("pga")]
+        assert len(pgas) == config.num_servers + 2
+
+
+class TestTranslation:
+    def test_deterministic(self):
+        a, b = make(seed=9), make(seed=9)
+        for addr in range(0, 100_000, 997):
+            assert a.line_of(addr) == b.line_of(addr)
+
+    def test_seed_changes_placement(self):
+        a, b = make(seed=1), make(seed=2)
+        diffs = sum(
+            a.line_of(addr) != b.line_of(addr) for addr in range(0, 65536, 4096)
+        )
+        assert diffs > 10
+
+    def test_same_page_lines_contiguous(self):
+        model = make()
+        base = model.regions["text_hot"].base
+        l0 = model.line_of(base)
+        l1 = model.line_of(base + LINE_SIZE)
+        assert l1 == l0 + 1
+
+    def test_lines_of_covers_span(self):
+        model = make()
+        base = model.regions["log"].base
+        lines = model.lines_of(base + 10, 130)  # crosses 2 line boundaries
+        assert len(lines) == 3
+
+    def test_lines_of_empty(self):
+        assert make().lines_of(0, 0) == []
+
+    def test_distinct_objects_distinct_lines(self):
+        model = make()
+        seen = set()
+        for struct, count in (("latch", 8), ("lock", 16)):
+            for i in range(count):
+                line = model.line_of(model.meta_addr(struct, i))
+                assert line not in seen
+                seen.add(line)
+
+
+class TestPlacementHelpers:
+    def test_frame_addr_bounds(self):
+        model = make()
+        model.frame_addr(0)
+        model.frame_addr(model.config.buffer_frames - 1)
+        import pytest
+        with pytest.raises(IndexError):
+            model.frame_addr(model.config.buffer_frames)
+
+    def test_meta_addr_unknown_struct(self):
+        import pytest
+        with pytest.raises(KeyError):
+            make().meta_addr("bogus", 0)
+
+    def test_log_addr_wraps(self):
+        model = make()
+        size = model.config.log_buffer_bytes
+        assert model.log_addr(size + 5) == model.log_addr(5)
+
+    def test_pga_addr_wraps_within_region(self):
+        model = make()
+        region = model.regions["pga0"]
+        assert model.pga_addr(0, region.size + 3) == region.base + 3
+
+
+class TestColouring:
+    def test_alias_groups_share_colours(self):
+        model = make(ncpus=1)
+        ncpus = 1
+        groups = defaultdict(list)
+        cache_pages = 1 << 14
+        for pga_id in range(model.config.num_servers):
+            region = model.regions[f"pga{pga_id}"]
+            colour = (model.line_of(region.base) // model.page_lines) % cache_pages
+            groups[(pga_id // ncpus) % model.NUM_ALIAS_GROUPS].append(colour)
+        for colours in groups.values():
+            assert len(set(colours)) == 1  # identical within a group
+
+    def test_different_groups_different_colours(self):
+        model = make()
+        cache_pages = 1 << 14
+        colours = set()
+        for group_rep in range(model.NUM_ALIAS_GROUPS):
+            region = model.regions[f"pga{group_rep}"]
+            colours.add((model.line_of(region.base) // model.page_lines) % cache_pages)
+        assert len(colours) == model.NUM_ALIAS_GROUPS
+
+    def test_pga_physical_lines_still_unique(self):
+        """Aliasing is in the index bits only — addresses stay distinct."""
+        model = make()
+        lines = set()
+        for pga_id in range(model.config.num_servers):
+            region = model.regions[f"pga{pga_id}"]
+            for off in range(0, region.size, LINE_SIZE):
+                line = model.line_of(region.base + off)
+                assert line not in lines
+                lines.add(line)
+
+
+class TestTextPages:
+    def test_text_pages_cover_code_regions(self):
+        model = make()
+        for name in ("text_hot", "text_cold", "ktext_hot", "ktext_cold"):
+            region = model.regions[name]
+            line = model.line_of(region.base)
+            assert model.is_text_page(line // model.page_lines)
+
+    def test_data_pages_not_text(self):
+        model = make()
+        line = model.line_of(model.regions["sga_buffer"].base)
+        assert not model.is_text_page(line // model.page_lines)

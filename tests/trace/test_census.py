@@ -1,0 +1,84 @@
+"""Tests for the workload census and miss attribution."""
+
+import pytest
+
+from repro.core.machine import MachineConfig
+from repro.core.system import simulate
+from repro.trace.census import attribute_misses, census, rebuild_model
+from repro.trace.synthetic import make_trace
+
+
+class TestCensus:
+    def test_regions_covered(self, uni_trace):
+        c = census(uni_trace)
+        for expected in ("text_hot", "ktext_hot", "pga", "log", "sga_buffer"):
+            assert expected in c.per_region
+
+    def test_no_unclassified_lines(self, uni_trace):
+        c = census(uni_trace)
+        assert "?" not in c.per_region
+
+    def test_total_matches_measured_refs(self, uni_trace):
+        c = census(uni_trace)
+        assert c.total_refs == uni_trace.measured_refs
+
+    def test_code_regions_are_pure_instruction(self, uni_trace):
+        c = census(uni_trace)
+        for name in ("text_hot", "text_cold", "ktext_hot"):
+            s = c.per_region[name]
+            assert s.instr == s.touches
+            assert s.writes == 0
+
+    def test_kernel_text_flagged_kernel(self, uni_trace):
+        s = census(uni_trace).per_region["ktext_hot"]
+        assert s.kernel == s.touches
+
+    def test_latches_are_all_writes(self, uni_trace):
+        s = census(uni_trace).per_region["sga_latch"]
+        assert s.write_fraction == 1.0
+
+    def test_render(self, uni_trace):
+        text = census(uni_trace).render()
+        assert "text_hot" in text and "refs/txn" in text
+
+    def test_rejects_synthetic_traces(self):
+        trace = make_trace(1, [(0, [16])])
+        with pytest.raises(ValueError):
+            census(trace)
+
+
+class TestRebuildModel:
+    def test_placement_reproduced(self, uni_trace):
+        a = rebuild_model(uni_trace)
+        b = rebuild_model(uni_trace)
+        probe = a.regions["text_hot"].base
+        assert a.line_of(probe) == b.line_of(probe)
+        assert a.text_pages == uni_trace.text_pages
+
+
+class TestMissAttribution:
+    def test_total_close_to_full_simulation(self, uni_trace):
+        machine = MachineConfig.base(1, scale=128)
+        attributed = attribute_misses(uni_trace, machine)
+        full = simulate(machine, uni_trace)
+        # The census model has no L1 filtering, so counts differ
+        # somewhat; they must be the same order of magnitude.
+        assert 0.4 < attributed.total / max(1, full.misses.total) < 2.5
+
+    def test_attribution_is_deterministic_and_consistent(self, uni_trace):
+        machine = MachineConfig.base(1, scale=128)
+        a = attribute_misses(uni_trace, machine)
+        b = attribute_misses(uni_trace, machine)
+        assert a.misses == b.misses
+        assert sum(a.misses.values()) == a.total
+        # Every attributed region is a region the census knows about.
+        regions = set(census(uni_trace).per_region)
+        assert set(a.misses) <= regions
+
+    def test_cpu_mismatch_rejected(self, uni_trace):
+        with pytest.raises(ValueError):
+            attribute_misses(uni_trace, MachineConfig.base(8, scale=128))
+
+    def test_render(self, uni_trace):
+        text = attribute_misses(uni_trace, MachineConfig.base(1, scale=128)).render()
+        assert "miss attribution" in text and "share" in text

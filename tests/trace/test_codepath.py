@@ -1,0 +1,115 @@
+"""Tests for the instruction code-path model."""
+
+import random
+
+import pytest
+
+from repro.cpu.events import FLAG_INSTR, FLAG_KERNEL, FLAG_MASK
+from repro.oltp.config import WorkloadConfig
+from repro.trace.address_space import MemoryModel
+from repro.trace.codepath import (
+    KERNEL_ROUTINES,
+    USER_ROUTINES,
+    CodeModel,
+    UnknownRoutineError,
+)
+
+
+def make(seed=4):
+    config = WorkloadConfig.build(ncpus=1, scale=128, seed=seed)
+    model = MemoryModel(config, seed=seed)
+    return CodeModel(model, random.Random(seed)), model
+
+
+class TestLayout:
+    def test_all_routines_present(self):
+        code, _ = make()
+        for name in list(USER_ROUTINES) + list(KERNEL_ROUTINES):
+            assert name in code.routines
+            assert code.routine_lines(name) >= 1
+
+    def test_sizes_proportional_to_weights(self):
+        code, _ = make()
+        parse = code.routine_lines("sql_parse")
+        latch = code.routine_lines("latch_get")
+        assert parse > latch
+
+    def test_kernel_flagging(self):
+        code, _ = make()
+        assert code.is_kernel("ctx_switch")
+        assert not code.is_kernel("sql_parse")
+
+    def test_unknown_routine_raises(self):
+        code, _ = make()
+        with pytest.raises(UnknownRoutineError):
+            code.routine_lines("nope")
+        with pytest.raises(UnknownRoutineError):
+            code.emit("nope", [])
+
+    def test_routines_do_not_overlap(self):
+        code, _ = make()
+        seen = set()
+        for name in code.routines:
+            refs = set(code._encoded[name])
+            assert not (refs & seen), f"{name} shares lines with another routine"
+            seen |= refs
+
+
+class TestEmission:
+    def test_emit_marks_instruction_flag(self):
+        code, _ = make()
+        out = []
+        code.emit("sql_parse", out)
+        assert out
+        assert all(ref & FLAG_INSTR for ref in out)
+        assert not any(ref & FLAG_KERNEL for ref in out)
+
+    def test_kernel_routine_marks_kernel_flag(self):
+        code, _ = make()
+        out = []
+        code.emit("ctx_switch", out)
+        assert all(ref & FLAG_KERNEL for ref in out)
+
+    def test_emit_covers_at_least_half(self):
+        code, _ = make()
+        total = code.routine_lines("sql_execute")
+        for _ in range(40):
+            out = []
+            code.emit("sql_execute", out)
+            body = [r for r in out if (r >> 4) in
+                    {x >> 4 for x in code._encoded["sql_execute"]}]
+            assert total // 2 <= len(body) <= total
+
+    def test_emit_starts_at_routine_head(self):
+        code, _ = make()
+        head = code._encoded["buf_get"][0]
+        out = []
+        code.emit("buf_get", out)
+        assert out[0] == head
+
+    def test_units_repeat(self):
+        code, _ = make()
+        single, triple = [], []
+        code.emit("latch_get", single)
+        code.emit("latch_get", triple, units=3)
+        assert len(triple) >= 3 * (code.routine_lines("latch_get") // 2)
+
+    def test_deterministic_given_seed(self):
+        a, _ = make(seed=8)
+        b, _ = make(seed=8)
+        out_a, out_b = [], []
+        for _ in range(20):
+            a.emit("sql_parse", out_a)
+            b.emit("sql_parse", out_b)
+        assert out_a == out_b
+
+    def test_occasional_cold_visits(self):
+        code, model = make()
+        hot = {r >> 4 for refs in code._encoded.values() for r in refs}
+        out = []
+        for _ in range(2000):
+            code.emit("sql_execute", out)
+        cold = [r for r in out if (r >> 4) not in hot]
+        assert cold, "expected some cold-text excursions"
+        # Cold refs are still instruction fetches.
+        assert all(r & FLAG_INSTR for r in cold)

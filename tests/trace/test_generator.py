@@ -1,0 +1,88 @@
+"""Tests for trace generation: structure, warmup, determinism."""
+
+from repro.cpu.events import FLAG_INSTR, FLAG_KERNEL, FLAG_WRITE, decode
+from repro.trace.generator import build_trace
+
+
+class TestStructure:
+    def test_quanta_tagged_with_valid_cpus(self, mp_trace):
+        assert mp_trace.ncpus == 4
+        assert all(0 <= q.cpu < 4 for q in mp_trace.quanta)
+
+    def test_all_cpus_appear(self, mp_trace):
+        assert {q.cpu for q in mp_trace.quanta} == set(range(4))
+
+    def test_total_refs_positive(self, uni_trace):
+        assert uni_trace.total_refs > 10_000
+
+    def test_quanta_nonempty(self, uni_trace):
+        assert all(len(q.refs) for q in uni_trace.quanta)
+
+    def test_mix_of_ref_types(self, uni_trace):
+        instr = writes = kernel = 0
+        total = 0
+        for q in uni_trace.quanta[:100]:
+            for ref in q.refs:
+                total += 1
+                if ref & FLAG_INSTR:
+                    instr += 1
+                if ref & FLAG_WRITE:
+                    writes += 1
+                if ref & FLAG_KERNEL:
+                    kernel += 1
+        assert 0.5 < instr / total < 0.95
+        assert writes > 0 and kernel > 0
+
+    def test_instructions_never_written(self, uni_trace):
+        for q in uni_trace.quanta[:50]:
+            for ref in q.refs:
+                line, write, instr, _, _ = decode(ref)
+                assert not (write and instr)
+
+    def test_dependent_loads_exist(self, uni_trace):
+        deps = sum(
+            1 for q in uni_trace.quanta[:100] for ref in q.refs
+            if decode(ref)[4]
+        )
+        assert deps > 0
+
+
+class TestWarmup:
+    def test_warmup_boundary_inside_trace(self, uni_trace):
+        assert 0 < uni_trace.warmup_quanta < len(uni_trace.quanta)
+
+    def test_measured_refs_excludes_warmup(self, uni_trace):
+        assert uni_trace.measured_refs < uni_trace.total_refs
+
+    def test_measured_txns_recorded(self, uni_trace):
+        assert uni_trace.measured_txns == 60
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = build_trace(ncpus=1, scale=256, txns=10, warmup_txns=5, seed=42)
+        b = build_trace(ncpus=1, scale=256, txns=10, warmup_txns=5, seed=42)
+        assert len(a.quanta) == len(b.quanta)
+        for qa, qb in zip(a.quanta, b.quanta):
+            assert qa.cpu == qb.cpu
+            assert qa.refs == qb.refs
+
+    def test_different_seed_different_trace(self):
+        a = build_trace(ncpus=1, scale=256, txns=10, warmup_txns=5, seed=1)
+        b = build_trace(ncpus=1, scale=256, txns=10, warmup_txns=5, seed=2)
+        assert any(qa.refs != qb.refs for qa, qb in zip(a.quanta, b.quanta))
+
+
+class TestMetadata:
+    def test_config_attached(self, uni_trace):
+        assert uni_trace.config.ncpus == 1
+
+    def test_engine_stats_attached(self, uni_trace):
+        assert uni_trace.engine_stats.committed >= uni_trace.measured_txns
+
+    def test_text_pages_nonempty(self, uni_trace):
+        assert uni_trace.text_pages
+
+    def test_page_bytes_power_of_two_lines(self, uni_trace):
+        lines = uni_trace.page_bytes // 64
+        assert lines >= 4 and (lines & (lines - 1)) == 0

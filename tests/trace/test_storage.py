@@ -1,0 +1,66 @@
+"""Tests for trace save/load round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.core.machine import MachineConfig
+from repro.core.system import simulate
+from repro.trace.generator import build_trace
+from repro.trace.storage import FORMAT_VERSION, load_trace, save_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_trace(ncpus=2, scale=256, txns=25, warmup_txns=10, seed=77)
+
+
+def test_roundtrip_structure(tmp_path, trace):
+    path = tmp_path / "trace.npz"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.ncpus == trace.ncpus
+    assert loaded.scale == trace.scale
+    assert loaded.page_bytes == trace.page_bytes
+    assert loaded.warmup_quanta == trace.warmup_quanta
+    assert loaded.measured_txns == trace.measured_txns
+    assert loaded.text_pages == trace.text_pages
+    assert len(loaded.quanta) == len(trace.quanta)
+    for a, b in zip(loaded.quanta, trace.quanta):
+        assert a.cpu == b.cpu
+        assert a.refs == b.refs
+
+
+def test_roundtrip_metadata(tmp_path, trace):
+    path = tmp_path / "trace.npz"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.config.ncpus == trace.config.ncpus
+    assert loaded.config.tpcb == trace.config.tpcb
+    assert loaded.engine_stats.committed == trace.engine_stats.committed
+
+
+def test_loaded_trace_simulates_identically(tmp_path, trace):
+    path = tmp_path / "trace.npz"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    machine = MachineConfig.base(2, scale=256)
+    a = simulate(machine, trace)
+    b = simulate(machine, loaded)
+    assert a.breakdown.total == b.breakdown.total
+    assert a.misses.as_dict() == b.misses.as_dict()
+
+
+def test_rejects_unknown_format(tmp_path, trace):
+    path = tmp_path / "trace.npz"
+    save_trace(trace, path)
+    # Corrupt the version field.
+    import json
+
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        meta["format"] = FORMAT_VERSION + 99
+        arrays = {k: data[k] for k in data.files}
+    arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez(path, **arrays)
+    with pytest.raises(ValueError):
+        load_trace(path)

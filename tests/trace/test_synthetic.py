@@ -1,0 +1,37 @@
+"""Tests for the synthetic trace helpers."""
+
+import pytest
+
+from repro.cpu.events import decode, encode
+from repro.trace.synthetic import make_trace, pingpong_trace, sweep_refs
+
+
+def test_make_trace_packs_quanta():
+    trace = make_trace(2, [(0, [encode(1)]), (1, [encode(2), encode(3)])])
+    assert trace.ncpus == 2
+    assert len(trace.quanta) == 2
+    assert list(trace.quanta[1].refs) == [encode(2), encode(3)]
+
+
+def test_make_trace_rejects_bad_cpu():
+    with pytest.raises(ValueError):
+        make_trace(2, [(2, [encode(1)])])
+
+
+def test_sweep_refs():
+    refs = sweep_refs(10, 3, write=True)
+    assert [decode(r)[0] for r in refs] == [10, 11, 12]
+    assert all(decode(r)[1] for r in refs)
+
+
+def test_sweep_refs_instr():
+    refs = sweep_refs(0, 2, instr=True)
+    assert all(decode(r)[2] for r in refs)
+
+
+def test_pingpong_alternates_cpus():
+    trace = pingpong_trace(5, rounds=6)
+    assert [q.cpu for q in trace.quanta] == [0, 1, 0, 1, 0, 1]
+    for q in trace.quanta:
+        line, write, *_ = decode(q.refs[0])
+        assert line == 5 and write
