@@ -17,6 +17,17 @@ paper-vs-measured record of every figure.
 from repro.core.machine import MachineConfig, cache_label
 from repro.core.results import RunResult
 from repro.core.system import System, simulate
+from repro.integrity import (
+    Checker,
+    CheckLevel,
+    ConfigError,
+    FaultKind,
+    FaultPlan,
+    InvariantViolation,
+    ReproError,
+    TraceFormatError,
+    TraceMismatchError,
+)
 from repro.params import (
     IntegrationLevel,
     L2Technology,
@@ -41,5 +52,14 @@ __all__ = [
     "latencies",
     "OltpTrace",
     "build_trace",
+    "Checker",
+    "CheckLevel",
+    "ConfigError",
+    "FaultKind",
+    "FaultPlan",
+    "InvariantViolation",
+    "ReproError",
+    "TraceFormatError",
+    "TraceMismatchError",
     "__version__",
 ]

@@ -49,6 +49,16 @@ class DirectoryState:
         """Number of lines with at least one cached copy (diagnostics)."""
         return len(self._sharers)
 
+    def entries(self):
+        """Iterate ``(line, sharers, owner)`` over every tracked line.
+
+        Exposed for the integrity checker; the yielded sharer sets are
+        the live internals and must not be mutated by callers.
+        """
+        owner_of = self._owner.get
+        for line, sharers in self._sharers.items():
+            yield line, sharers, owner_of(line)
+
     # -- transitions -------------------------------------------------------
 
     def add_sharer(self, line: int, node: int) -> None:

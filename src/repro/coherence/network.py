@@ -31,6 +31,13 @@ class MessageCounters:
     invalidations: int = 0
     local_requests: int = 0
 
+    def reset(self) -> None:
+        """Zero all counters (warmup/measurement boundary)."""
+        self.requests_2hop = 0
+        self.requests_3hop = 0
+        self.invalidations = 0
+        self.local_requests = 0
+
     def as_dict(self) -> dict:
         return {
             "local": self.local_requests,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.integrity.errors import ConfigError
 from repro.params import (
     BASE_L2_ASSOC,
     BASE_L2_SIZE,
@@ -25,6 +26,15 @@ from repro.params import (
     LatencyTable,
     latencies,
 )
+
+
+def _valid_capacity(size: int, assoc: int) -> bool:
+    """A cache capacity must divide evenly into ``assoc``-way sets and
+    be a power of two or a multiple of 256 KB (the paper's fractional
+    megabyte points, e.g. the 1.25 MB L2 of Figure 12)."""
+    if size % (assoc * LINE_SIZE):
+        return False
+    return size & (size - 1) == 0 or size % (MB // 4) == 0
 
 
 def _size_label(size: int) -> str:
@@ -64,28 +74,59 @@ class MachineConfig:
     latency_override: Optional[LatencyTable] = None
 
     def __post_init__(self):
+        if not self.label or not str(self.label).strip():
+            raise ConfigError("label must be a non-empty string")
         if self.ncpus <= 0:
-            raise ValueError("ncpus must be positive")
+            raise ConfigError("ncpus must be positive")
         if self.l2_size <= 0 or self.l2_assoc <= 0:
-            raise ValueError("L2 geometry must be positive")
+            raise ConfigError("L2 geometry must be positive")
+        if self.l2_size < self.l2_assoc * LINE_SIZE:
+            raise ConfigError(
+                f"L2 of {self.l2_size} B cannot hold {self.l2_assoc} ways "
+                f"of {LINE_SIZE} B lines"
+            )
+        if not _valid_capacity(self.l2_size, self.l2_assoc):
+            raise ConfigError(
+                f"L2 size {self.l2_size} is not a power of two or a "
+                f"multiple of 256 KB divisible into {self.l2_assoc}-way sets"
+            )
         if self.cpu_model not in ("inorder", "ooo"):
-            raise ValueError(f"unknown cpu_model {self.cpu_model!r}")
+            raise ConfigError(f"unknown cpu_model {self.cpu_model!r}")
         if self.integration.l2_on_chip and self.l2_technology is L2Technology.OFF_CHIP_SRAM:
-            raise ValueError("integrated L2 must use on-chip SRAM or DRAM")
+            raise ConfigError("integrated L2 must use on-chip SRAM or DRAM")
         if not self.integration.l2_on_chip and self.l2_technology is not L2Technology.OFF_CHIP_SRAM:
-            raise ValueError("off-chip L2 must use off-chip SRAM")
+            raise ConfigError("off-chip L2 must use off-chip SRAM")
         if self.cores_per_node <= 0:
-            raise ValueError("cores_per_node must be positive")
+            raise ConfigError("cores_per_node must be positive")
         if self.ncpus % self.cores_per_node:
-            raise ValueError("ncpus must be a multiple of cores_per_node")
+            raise ConfigError(
+                f"ncpus ({self.ncpus}) must be a multiple of "
+                f"cores_per_node ({self.cores_per_node})"
+            )
         if self.cores_per_node > 1 and not self.integration.l2_on_chip:
-            raise ValueError("chip multiprocessing requires an on-chip L2")
+            raise ConfigError("chip multiprocessing requires an on-chip L2")
         if self.victim_entries < 0:
-            raise ValueError("victim_entries must be non-negative")
+            raise ConfigError("victim_entries must be non-negative")
         if self.tlb_entries < 0:
-            raise ValueError("tlb_entries must be non-negative")
-        if self.rac_size is not None and self.num_nodes == 1:
-            raise ValueError("a RAC only makes sense in a multiprocessor")
+            raise ConfigError("tlb_entries must be non-negative")
+        if self.scale < 1:
+            raise ConfigError("scale must be at least 1")
+        if self.rac_size is not None:
+            if self.num_nodes == 1:
+                raise ConfigError("a RAC only makes sense in a multiprocessor")
+            if self.rac_assoc <= 0:
+                raise ConfigError("rac_assoc must be positive")
+            if self.rac_size < self.rac_assoc * LINE_SIZE:
+                raise ConfigError(
+                    f"RAC of {self.rac_size} B cannot hold {self.rac_assoc} "
+                    f"ways of {LINE_SIZE} B lines"
+                )
+            if not _valid_capacity(self.rac_size, self.rac_assoc):
+                raise ConfigError(
+                    f"RAC size {self.rac_size} is not a power of two or a "
+                    f"multiple of 256 KB divisible into "
+                    f"{self.rac_assoc}-way sets"
+                )
 
     @property
     def num_nodes(self) -> int:

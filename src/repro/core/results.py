@@ -37,6 +37,13 @@ class RunResult:
     measured_txns: int = 0
     #: Software TLB fills (0 when the machine models a perfect TLB).
     tlb_misses: int = 0
+    #: L2 demand hits and victim-buffer swap-back hits during the
+    #: measured phase (inputs to the miss conservation law).
+    l2_hits: int = 0
+    victim_hits: int = 0
+    #: References replayed in the measured phase; 0 when the result was
+    #: assembled by hand (verify() then skips the reference laws).
+    trace_refs: int = 0
 
     @property
     def label(self) -> str:
@@ -68,6 +75,74 @@ class RunResult:
         if not self.breakdown.busy:
             return 0.0
         return self.breakdown.kernel_busy / self.breakdown.busy
+
+    def verify(self) -> "RunResult":
+        """Check the conservation laws over the measured statistics.
+
+        Raises :class:`~repro.integrity.errors.InvariantViolation` when
+        any law fails; returns ``self`` so calls chain.  The reference
+        laws need ``trace_refs``/``l2_hits`` bookkeeping and are skipped
+        for hand-assembled results (``trace_refs == 0``).
+        """
+        from repro.integrity.errors import InvariantViolation
+
+        b = self.breakdown
+        components = {
+            "busy": b.busy,
+            "kernel_busy": b.kernel_busy,
+            "l2_hit": b.l2_hit,
+            "local_stall": b.local_stall,
+            "remote_clean_stall": b.remote_clean_stall,
+            "remote_dirty_stall": b.remote_dirty_stall,
+        }
+        for name, value in components.items():
+            if value < 0:
+                raise InvariantViolation(
+                    "negative-cycles",
+                    f"breakdown component {name} is negative",
+                    details={name: value},
+                )
+        if b.kernel_busy > b.busy + 1e-6:
+            raise InvariantViolation(
+                "kernel-exceeds-busy",
+                "kernel busy time exceeds total busy time",
+                details={"kernel_busy": b.kernel_busy, "busy": b.busy},
+            )
+        summed = ExecutionBreakdown()
+        for cpu in self.per_cpu:
+            summed.add(cpu)
+        for name in components:
+            mine, theirs = getattr(b, name), getattr(summed, name)
+            if abs(mine - theirs) > 1e-6 * max(1.0, abs(mine)):
+                raise InvariantViolation(
+                    "breakdown-mismatch",
+                    f"summed breakdown disagrees with per-CPU sum on {name}",
+                    details={"total": mine, "per_cpu_sum": theirs},
+                )
+
+        if self.trace_refs:
+            refs = self.l1.i_refs + self.l1.d_refs
+            if refs != self.trace_refs:
+                raise InvariantViolation(
+                    "reference-conservation",
+                    "L1 reference counts do not sum to the replayed "
+                    "trace references",
+                    details={"i_refs": self.l1.i_refs, "d_refs": self.l1.d_refs,
+                             "trace_refs": self.trace_refs},
+                )
+            l1_misses = self.l1.i_misses + self.l1.d_misses
+            serviced = self.l2_hits + self.victim_hits + self.misses.total
+            if serviced != l1_misses:
+                raise InvariantViolation(
+                    "miss-conservation",
+                    "L2 hits + victim hits + L2 misses do not sum to "
+                    "L1 misses",
+                    details={"l2_hits": self.l2_hits,
+                             "victim_hits": self.victim_hits,
+                             "l2_misses": self.misses.total,
+                             "l1_misses": l1_misses},
+                )
+        return self
 
     def speedup_over(self, other: "RunResult") -> float:
         """How much faster this run is than ``other`` (paper's 'X times')."""

@@ -36,11 +36,14 @@ from repro.cpu.events import (
 )
 from repro.cpu.inorder import InOrderCPU
 from repro.cpu.ooo import OutOfOrderCPU
+from repro.integrity.checker import Checker, CheckLevel
+from repro.integrity.errors import StateError, TraceMismatchError
 from repro.memsys.hierarchy import HierarchyLevel, NodeCaches
 from repro.memsys.rac import RemoteAccessCache
 from repro.params import (
     INSTRS_PER_ILINE,
     L1_ASSOC,
+    LINE_SIZE,
     TLB_WALK_CYCLES,
     VICTIM_HIT_EXTRA,
     MissKind,
@@ -66,11 +69,20 @@ class System:
     ``force_general`` routes even plain configurations through the
     general loop; the two loops implement identical semantics and the
     test suite verifies it using this switch.
+
+    ``check`` selects the integrity-checking tier (``"off"``,
+    ``"end-of-run"``, ``"per-quantum"``; see
+    :class:`~repro.integrity.checker.CheckLevel`).  ``fault_plan``
+    deliberately corrupts state mid-run to mutation-test the checker
+    (see :class:`~repro.integrity.faults.FaultPlan`).
     """
 
-    def __init__(self, machine: MachineConfig, force_general: bool = False):
+    def __init__(self, machine: MachineConfig, force_general: bool = False,
+                 *, check="off", fault_plan=None):
         self.machine = machine
         self.force_general = force_general
+        self.checker = Checker(check)
+        self.fault_plan = fault_plan
         self.nodes: List[NodeCaches] = [
             NodeCaches(
                 machine.scaled_l2_size,
@@ -97,6 +109,7 @@ class System:
         self.victim_hits = 0
         self.tlb_misses = 0
         self.writes = 0
+        self.protocol: Optional[DirectoryProtocol] = None
         self._ran = False
 
     # -- measurement reset at the warmup boundary --------------------------------
@@ -115,26 +128,56 @@ class System:
             node.reset_stats()
         if self.racs is not None:
             for rac in self.racs:
-                rac.hits = 0
-                rac.probes = 0
+                rac.reset_stats()
         protocol.upgrades = 0
         protocol.invalidations = 0
         protocol.writebacks = 0
         protocol.interventions = 0
-        net.counters.__init__()
+        net.counters.reset()
 
     # -- public entry ---------------------------------------------------------------
+
+    def _validate_trace(self, trace) -> None:
+        """Reject traces this machine cannot meaningfully replay."""
+        machine = self.machine
+        if trace.ncpus != machine.ncpus:
+            raise TraceMismatchError(
+                f"trace was generated for {trace.ncpus} CPUs, machine has "
+                f"{machine.ncpus}; regenerate the trace or pick a matching "
+                "machine configuration"
+            )
+        if not trace.quanta:
+            raise TraceMismatchError(
+                "trace has no scheduling quanta; nothing to replay"
+            )
+        warmup = trace.warmup_quanta
+        if not 0 <= warmup < len(trace.quanta):
+            raise TraceMismatchError(
+                f"warmup_quanta={warmup} leaves no measured quanta "
+                f"(trace has {len(trace.quanta)}); lower the warmup or "
+                "lengthen the trace"
+            )
+        page_lines = trace.page_bytes // LINE_SIZE
+        if (trace.page_bytes % LINE_SIZE or page_lines < 1
+                or page_lines & (page_lines - 1)):
+            raise TraceMismatchError(
+                f"page_bytes={trace.page_bytes} must be a power-of-two "
+                f"multiple of the {LINE_SIZE} B line size"
+            )
+        bad = next((q.cpu for q in trace.quanta
+                    if not 0 <= q.cpu < machine.ncpus), None)
+        if bad is not None:
+            raise TraceMismatchError(
+                f"trace schedules CPU {bad}, but the machine has CPUs "
+                f"0..{machine.ncpus - 1}"
+            )
 
     def run(self, trace) -> RunResult:
         """Replay ``trace`` and return the measured statistics."""
         machine = self.machine
-        if trace.ncpus != machine.ncpus:
-            raise ValueError(
-                f"trace was generated for {trace.ncpus} CPUs, "
-                f"machine has {machine.ncpus}"
-            )
+        self._validate_trace(trace)
         if self._ran:
-            raise RuntimeError("System instances are single-use; build a new one")
+            raise StateError("System instances are single-use; build a new one")
         self._ran = True
 
         replicated = None
@@ -143,7 +186,7 @@ class System:
             page_lines_shift = (trace.page_bytes // 64).bit_length() - 1
             replicated = lambda line: (line >> page_lines_shift) in text_pages  # noqa: E731
         homemap = HomeMap(machine.num_nodes, trace.page_bytes, replicated)
-        protocol = DirectoryProtocol(homemap, self.nodes, self.racs)
+        protocol = self.protocol = DirectoryProtocol(homemap, self.nodes, self.racs)
         net = InterconnectModel(machine.latencies)
 
         if (machine.cores_per_node > 1 or machine.victim_entries
@@ -154,7 +197,12 @@ class System:
 
         for cpu in self.cpus:
             cpu.drain()
-        return self._collect(trace, protocol, net)
+        if self.checker.enabled:
+            self.checker.check_system(self, protocol)
+        result = self._collect(trace, protocol, net)
+        if self.checker.enabled:
+            result.verify()
+        return result
 
     # -- the optimized common-case loop ------------------------------------------------
 
@@ -176,6 +224,13 @@ class System:
 
         nodes = self.nodes
         cpus = self.cpus
+        # Integrity hooks fire only at quantum boundaries, so the
+        # per-reference path below stays branch-free when disabled.
+        checker = self.checker if self.checker.per_quantum else None
+        plan = self.fault_plan if (
+            self.fault_plan is not None and not self.fault_plan.applied
+        ) else None
+        refs_done = 0
         # Run-long counters kept as plain ints for speed.
         i_refs = i_miss = d_refs = d_miss = l2hits = writes = 0
 
@@ -313,6 +368,16 @@ class System:
                 if q_kinstr:
                     cpu.kernel_busy_cycles += q_kinstr * INSTRS_PER_ILINE
 
+            if plan is not None:
+                refs_done += len(quantum.refs)
+                if refs_done >= plan.at_ref:
+                    plan.apply(self, protocol)
+                    plan = None
+            if checker is not None:
+                checker.check_system(self, protocol)
+
+        if plan is not None:
+            plan.apply(self, protocol)
         self._flush_counters(i_refs, i_miss, d_refs, d_miss, l2hits, writes)
 
     # -- the general loop (CMP / victim buffers) -----------------------------------------
@@ -335,6 +400,11 @@ class System:
         from collections import OrderedDict
         tlbs = [OrderedDict() for _ in range(machine.ncpus)] if tlb_entries else None
         tlb_miss_count = 0
+        checker = self.checker if self.checker.per_quantum else None
+        plan = self.fault_plan if (
+            self.fault_plan is not None and not self.fault_plan.applied
+        ) else None
+        refs_done = 0
 
         for qi, quantum in enumerate(trace.quanta):
             if qi == warmup_end:
@@ -343,6 +413,9 @@ class System:
                 )
                 self._reset_measurement(protocol, net)
                 i_refs = i_miss = d_refs = d_miss = l2hits = victimhits = writes = 0
+                # Warmup TLB walks were discarded with the rest of the
+                # warmup cycles; discard their count too.
+                tlb_miss_count = 0
 
             cpu_id = quantum.cpu
             node_id = cpu_id // cores
@@ -428,6 +501,16 @@ class System:
                 if q_kinstr:
                     cpu.kernel_busy_cycles += q_kinstr * INSTRS_PER_ILINE
 
+            if plan is not None:
+                refs_done += len(quantum.refs)
+                if refs_done >= plan.at_ref:
+                    plan.apply(self, protocol)
+                    plan = None
+            if checker is not None:
+                checker.check_system(self, protocol)
+
+        if plan is not None:
+            plan.apply(self, protocol)
         self._flush_counters(
             i_refs, i_miss, d_refs, d_miss, l2hits, writes, victimhits
         )
@@ -462,6 +545,9 @@ class System:
         if self.racs is not None:
             rac_stats.probes = sum(r.probes for r in self.racs)
             rac_stats.hits = sum(r.hits for r in self.racs)
+        trace_refs = sum(
+            len(q.refs) for q in trace.quanta[trace.warmup_quanta:]
+        )
         return RunResult(
             machine=self.machine,
             breakdown=total,
@@ -473,9 +559,17 @@ class System:
             network=net.counters,
             measured_txns=getattr(trace, "measured_txns", 0),
             tlb_misses=self.tlb_misses,
+            l2_hits=self.l2_hits,
+            victim_hits=self.victim_hits,
+            trace_refs=trace_refs,
         )
 
 
-def simulate(machine: MachineConfig, trace) -> RunResult:
-    """Convenience wrapper: build a System, replay ``trace``, return stats."""
-    return System(machine).run(trace)
+def simulate(machine: MachineConfig, trace, *, force_general: bool = False,
+             check="off", fault_plan=None) -> RunResult:
+    """Convenience wrapper: build a System, replay ``trace``, return stats.
+
+    ``check`` and ``fault_plan`` pass through to :class:`System`.
+    """
+    return System(machine, force_general,
+                  check=check, fault_plan=fault_plan).run(trace)

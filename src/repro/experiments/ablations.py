@@ -68,13 +68,14 @@ def victim_buffer_study(settings: Optional[Settings] = None) -> VictimBufferStud
             8, l2_size=2 * MB, l2_assoc=assoc, victim_entries=vb, scale=scale
         )
 
+    check = settings.check
     rows = [
-        ("2M1w", simulate(machine(1, 0), trace)),
-        ("2M1w +VB8", simulate(machine(1, 8), trace)),
-        ("2M1w +VB16", simulate(machine(1, 16), trace)),
-        ("2M1w +VB64", simulate(machine(1, 64), trace)),
-        ("2M2w", simulate(machine(2, 0), trace)),
-        ("2M8w", simulate(machine(8, 0), trace)),
+        ("2M1w", simulate(machine(1, 0), trace, check=check)),
+        ("2M1w +VB8", simulate(machine(1, 8), trace, check=check)),
+        ("2M1w +VB16", simulate(machine(1, 16), trace, check=check)),
+        ("2M1w +VB64", simulate(machine(1, 64), trace, check=check)),
+        ("2M2w", simulate(machine(2, 0), trace, check=check)),
+        ("2M8w", simulate(machine(8, 0), trace, check=check)),
     ]
     return VictimBufferStudy(rows)
 
@@ -116,12 +117,17 @@ def cmp_study(settings: Optional[Settings] = None) -> CmpStudy:
     txns = settings.mp_txns * 4 // 3
     trace = build_trace(ncpus=16, scale=settings.scale, txns=txns, seed=settings.seed)
     scale = settings.scale
+    check = settings.check
     rows = [
-        ("16 chips x 1 core", simulate(MachineConfig.fully_integrated(16, scale=scale), trace)),
+        ("16 chips x 1 core",
+         simulate(MachineConfig.fully_integrated(16, scale=scale), trace,
+                  check=check)),
         ("8 chips x 2 cores",
-         simulate(MachineConfig.chip_multiprocessor(8, cores_per_node=2, scale=scale), trace)),
+         simulate(MachineConfig.chip_multiprocessor(8, cores_per_node=2, scale=scale),
+                  trace, check=check)),
         ("4 chips x 4 cores",
-         simulate(MachineConfig.chip_multiprocessor(4, cores_per_node=4, scale=scale), trace)),
+         simulate(MachineConfig.chip_multiprocessor(4, cores_per_node=4, scale=scale),
+                  trace, check=check)),
     ]
     return CmpStudy(rows)
 
@@ -162,7 +168,7 @@ def latency_sensitivity(settings: Optional[Settings] = None,
     trace = get_trace(ncpus, settings)
     base_machine = MachineConfig.fully_integrated(ncpus, scale=settings.scale) \
         if ncpus > 1 else MachineConfig.integrated_l2_mc(scale=settings.scale)
-    baseline = simulate(base_machine, trace)
+    baseline = simulate(base_machine, trace, check=settings.check)
     table = base_machine.latencies
     deltas = []
     for field_name in ("l2_hit", "local", "remote_clean", "remote_dirty"):
@@ -171,7 +177,7 @@ def latency_sensitivity(settings: Optional[Settings] = None,
         bumped_value = int(getattr(table, field_name) * 1.5)
         bumped = replace(table, **{field_name: bumped_value})
         machine = base_machine.with_(latency_override=bumped)
-        result = simulate(machine, trace)
+        result = simulate(machine, trace, check=settings.check)
         deltas.append((field_name, result.exec_time / baseline.exec_time))
     return LatencySensitivity(ncpus, baseline, deltas)
 
@@ -214,14 +220,15 @@ def tlb_study(settings: Optional[Settings] = None,
     settings = settings or Settings.paper()
     trace = get_trace(8, settings)
     base_machine = MachineConfig.fully_integrated(8, scale=settings.scale)
-    baseline = simulate(base_machine, trace)
+    baseline = simulate(base_machine, trace, check=settings.check)
     rows = []
     txns = max(1, trace.measured_txns)
     for entries in entry_counts:
         if entries == 0:
             rows.append((0, 1.0, 0.0))
             continue
-        result = simulate(base_machine.with_(tlb_entries=entries), trace)
+        result = simulate(base_machine.with_(tlb_entries=entries), trace,
+                          check=settings.check)
         rows.append(
             (entries, result.exec_time / baseline.exec_time,
              result.tlb_misses / txns)

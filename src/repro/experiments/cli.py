@@ -10,6 +10,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -26,9 +27,10 @@ from repro.experiments import ooo as ooo_experiment
 from repro.experiments.common import Settings
 from repro.experiments.export import write_figure_csv
 from repro.experiments.report import render
+from repro.integrity import ReproError
 
 FIGURES = ("fig3", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13")
-EXTRAS = ("ablations",)
+EXTRAS = ("ablations", "selftest")
 
 
 def _settings(args: argparse.Namespace) -> Settings:
@@ -41,6 +43,7 @@ def _settings(args: argparse.Namespace) -> Settings:
         uni_txns=args.uni_txns if args.uni_txns else base.uni_txns,
         mp_txns=args.mp_txns if args.mp_txns else base.mp_txns,
         seed=args.seed,
+        check=getattr(args, "check", "off"),
     )
 
 
@@ -52,6 +55,9 @@ def run_figure(name: str, settings: Settings, chart: bool = False,
     there as ``<name>.csv`` (Figures 3 and 11 have no tabular Figure
     form and are skipped).
     """
+
+    if csv_dir:
+        os.makedirs(csv_dir, exist_ok=True)
 
     def dump(figure, suffix=""):
         if csv_dir:
@@ -86,6 +92,10 @@ def run_figure(name: str, settings: Settings, chart: bool = False,
         return study.render()
     if name == "ablations":
         return ablations.run_all(settings)
+    if name == "selftest":
+        from repro.integrity import selftest
+
+        return selftest.run(settings).render()
     raise ValueError(f"unknown figure {name!r}")
 
 
@@ -108,6 +118,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=7, help="workload seed")
     parser.add_argument("--quick", action="store_true",
                         help="small fast runs (CI smoke sizes)")
+    parser.add_argument("--check", choices=("off", "end-of-run", "per-quantum"),
+                        default="off",
+                        help="run the integrity checker during every simulation")
     parser.add_argument("--chart", action="store_true",
                         help="also print ASCII stacked-bar charts")
     parser.add_argument("--csv", metavar="DIR", default=None,
@@ -115,12 +128,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     settings = _settings(args)
-    names = FIGURES if args.figure == "all" else (args.figure,)
-    for name in names:
-        start = time.time()
-        print(run_figure(name, settings, chart=args.chart, csv_dir=args.csv))
-        print(f"[{name} took {time.time() - start:.1f}s]")
-        print()
+    completed: List[str] = []
+    try:
+        if args.figure == "selftest":
+            from repro.integrity import selftest
+
+            # Selftest defaults to quick sizes unless explicitly overridden.
+            sized = args.quick or args.scale or args.uni_txns or args.mp_txns
+            report = selftest.run(settings if sized else None)
+            print(report.render())
+            return 0 if report.passed else 1
+
+        names = FIGURES if args.figure == "all" else (args.figure,)
+        for name in names:
+            start = time.time()
+            print(run_figure(name, settings, chart=args.chart, csv_dir=args.csv))
+            print(f"[{name} took {time.time() - start:.1f}s]")
+            print()
+            completed.append(name)
+    except KeyboardInterrupt:
+        done = ", ".join(completed) if completed else "none"
+        print(f"\nrepro-oltp: interrupted; figures completed: {done}",
+              file=sys.stderr)
+        return 130
+    except ReproError as exc:
+        print(f"repro-oltp: error: {exc}", file=sys.stderr)
+        return 1
+    except Exception as exc:  # no tracebacks for end users
+        print(f"repro-oltp: internal error ({type(exc).__name__}): {exc}",
+              file=sys.stderr)
+        return 1
     return 0
 
 

@@ -25,13 +25,16 @@ class Settings:
 
     ``quick()`` is sized for CI smoke runs; ``paper()`` for the full
     benchmark harness.  ``mp_txns`` is larger than ``uni_txns`` because
-    8 CPUs split the transaction stream.
+    8 CPUs split the transaction stream.  ``check`` selects the
+    integrity-checking tier every simulation runs with (see
+    :class:`~repro.integrity.checker.CheckLevel`).
     """
 
     scale: int = 32
     uni_txns: int = 400
     mp_txns: int = 1200
     seed: int = 7
+    check: str = "off"
 
     @classmethod
     def paper(cls) -> "Settings":
@@ -121,9 +124,13 @@ def run_configs(
     labelled_configs: List[Tuple[str, MachineConfig]],
     trace: OltpTrace,
     baseline_index: int = 0,
+    check: str = "off",
 ) -> Figure:
     """Simulate every configuration and normalize against the baseline."""
-    rows = [Row(label, simulate(machine, trace)) for label, machine in labelled_configs]
+    rows = [
+        Row(label, simulate(machine, trace, check=check))
+        for label, machine in labelled_configs
+    ]
     base_time = rows[baseline_index].result.exec_time or 1.0
     base_miss = rows[baseline_index].result.misses.total or 1
     for row in rows:

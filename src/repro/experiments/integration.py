@@ -16,7 +16,8 @@ from repro.experiments.common import Figure, Settings, get_trace, run_configs
 from repro.core.system import simulate
 
 
-def _configs(ncpus: int, scale: int, cpu_model: str = "inorder"):
+def ladder_configs(ncpus: int, scale: int, cpu_model: str = "inorder"):
+    """The labelled integration-ladder configurations (also used by selftest)."""
     configs = [
         ("Base", MachineConfig.base(ncpus, scale=scale, cpu_model=cpu_model)),
         ("L2", MachineConfig.integrated_l2(ncpus, scale=scale, cpu_model=cpu_model)),
@@ -64,8 +65,9 @@ def run(settings: Optional[Settings] = None, cpu_model: str = "inorder") -> Inte
     uni = run_configs(
         "Figure 10 (uni)",
         f"integration ladder — uniprocessor ({cpu_model})",
-        _configs(1, scale, cpu_model),
+        ladder_configs(1, scale, cpu_model),
         uni_trace,
+        check=settings.check,
     )
     uni.notes.append(
         f"full-integration speedup = {uni.speedup('L2+MC'):.2f}x (paper: ~1.4x, "
@@ -76,11 +78,13 @@ def run(settings: Optional[Settings] = None, cpu_model: str = "inorder") -> Inte
     mp = run_configs(
         "Figure 10 (MP)",
         f"integration ladder — 8 processors ({cpu_model})",
-        _configs(8, scale, cpu_model),
+        ladder_configs(8, scale, cpu_model),
         mp_trace,
+        check=settings.check,
     )
     cons = simulate(
-        MachineConfig.conservative_base(8, scale=scale, cpu_model=cpu_model), mp_trace
+        MachineConfig.conservative_base(8, scale=scale, cpu_model=cpu_model),
+        mp_trace, check=settings.check,
     )
     full = mp.row("All").result
     cons_speedup = cons.exec_time / full.exec_time

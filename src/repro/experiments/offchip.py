@@ -18,7 +18,8 @@ from repro.params import MB
 SIZES_MB = (1, 2, 4, 8)
 
 
-def _configs(ncpus: int, scale: int):
+def sweep_configs(ncpus: int, scale: int):
+    """The labelled off-chip sweep configurations (also used by selftest)."""
     configs = []
     for assoc in (1, 4):
         for size_mb in SIZES_MB:
@@ -59,7 +60,8 @@ def run(ncpus: int, settings: Optional[Settings] = None) -> Figure:
         f"OLTP with off-chip L2 configurations — "
         f"{'uniprocessor' if ncpus == 1 else f'{ncpus} processors'}"
     )
-    figure = run_configs(fig_id, title, _configs(ncpus, settings.scale), trace)
+    figure = run_configs(fig_id, title, sweep_configs(ncpus, settings.scale),
+                         trace, check=settings.check)
     _annotate(figure, ncpus)
     return figure
 

@@ -81,7 +81,8 @@ def run(ncpus: int, settings: Optional[Settings] = None) -> Figure:
         f"impact of on-chip L2 — "
         f"{'uniprocessor' if ncpus == 1 else f'{ncpus} processors'}"
     )
-    figure = run_configs(fig_id, title, _configs(ncpus, settings.scale), trace)
+    figure = run_configs(fig_id, title, _configs(ncpus, settings.scale),
+                         trace, check=settings.check)
     _annotate(figure, ncpus)
     return figure
 

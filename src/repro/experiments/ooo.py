@@ -90,12 +90,12 @@ def run(settings: Optional[Settings] = None) -> OooStudy:
     uni_trace = get_trace(1, settings)
     uni = run_configs(
         "Figure 13 (uni)", "integration with OOO — uniprocessor",
-        _ladder(1, scale), uni_trace,
+        _ladder(1, scale), uni_trace, check=settings.check,
     )
     mp_trace = get_trace(8, settings)
     mp = run_configs(
         "Figure 13 (MP)", "integration with OOO — 8 processors",
-        _ladder(8, scale), mp_trace,
+        _ladder(8, scale), mp_trace, check=settings.check,
     )
     uni_gain = (
         inorder.uni.row("Base").result.exec_time / uni.row("Base OOO").result.exec_time

@@ -91,11 +91,16 @@ def run_miss_study(settings: Optional[Settings] = None) -> RacMissStudy:
     settings = settings or Settings.paper()
     trace = get_trace(NCPUS, settings)
     scale = settings.scale
+    check = settings.check
     return RacMissStudy(
-        no_rac_no_repl=simulate(_machine(scale, 1 * MB, 4, False, False), trace),
-        rac_no_repl=simulate(_machine(scale, 1 * MB, 4, True, False), trace),
-        no_rac_repl=simulate(_machine(scale, 1 * MB, 4, False, True), trace),
-        rac_repl=simulate(_machine(scale, 1 * MB, 4, True, True), trace),
+        no_rac_no_repl=simulate(_machine(scale, 1 * MB, 4, False, False), trace,
+                                check=check),
+        rac_no_repl=simulate(_machine(scale, 1 * MB, 4, True, False), trace,
+                             check=check),
+        no_rac_repl=simulate(_machine(scale, 1 * MB, 4, False, True), trace,
+                             check=check),
+        rac_repl=simulate(_machine(scale, 1 * MB, 4, True, True), trace,
+                          check=check),
     )
 
 
@@ -117,7 +122,8 @@ def run_perf_study(settings: Optional[Settings] = None) -> Figure:
         ("2M8w RAC", _machine(scale, 2 * MB, 8, True, True)),
     ]
     figure = run_configs(
-        "Figure 12", "RAC performance with different L2 sizes — 8 CPUs", configs, trace
+        "Figure 12", "RAC performance with different L2 sizes — 8 CPUs",
+        configs, trace, check=settings.check,
     )
     rac_gain = 1 - figure.row("1M4w RAC").time_norm / 100.0
     figure.notes.append(

@@ -1,0 +1,45 @@
+"""Simulation integrity subsystem: errors, invariants, fault injection.
+
+The reproduction's credibility rests on the claim that the two replay
+loops implement identical semantics and that the paper's shape criteria
+emerge from *correct* cache and directory mechanics.  This package
+turns that claim into a runtime guarantee:
+
+* :mod:`repro.integrity.errors` — the structured error taxonomy every
+  layer raises instead of bare ``ValueError``/``RuntimeError``;
+* :mod:`repro.integrity.checker` — the invariant :class:`Checker` with
+  toggleable cost tiers (``off`` / ``end-of-run`` / ``per-quantum``)
+  that verifies inclusion, LRU/set discipline, directory/cache
+  agreement and conservation laws during :meth:`System.run`;
+* :mod:`repro.integrity.faults` — a seeded :class:`FaultPlan` that
+  deliberately corrupts simulator state so the checker itself can be
+  mutation-tested;
+* :mod:`repro.integrity.selftest` — the user-invokable
+  ``repro-oltp selftest`` harness tying the three together.
+"""
+
+from repro.integrity.checker import Checker, CheckLevel
+from repro.integrity.errors import (
+    ConfigError,
+    FaultInjectionError,
+    InvariantViolation,
+    ReproError,
+    StateError,
+    TraceFormatError,
+    TraceMismatchError,
+)
+from repro.integrity.faults import FaultKind, FaultPlan
+
+__all__ = [
+    "Checker",
+    "CheckLevel",
+    "ConfigError",
+    "FaultInjectionError",
+    "FaultKind",
+    "FaultPlan",
+    "InvariantViolation",
+    "ReproError",
+    "StateError",
+    "TraceFormatError",
+    "TraceMismatchError",
+]

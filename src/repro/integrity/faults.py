@@ -1,0 +1,183 @@
+"""Deterministic fault injection for mutation-testing the checker.
+
+A :class:`FaultPlan` deliberately corrupts one piece of simulator
+state — directory protocol metadata, LRU placement, residency or dirty
+bits — at a configured reference index.  The integrity
+:class:`~repro.integrity.checker.Checker` must then report the
+corruption as an :class:`~repro.integrity.errors.InvariantViolation`;
+a checker that stays silent under every fault class is vacuous, and
+``repro-oltp selftest`` proves ours is not.
+
+Plans are seeded and deterministic: the same ``(kind, at_ref, seed)``
+against the same simulator state always corrupts the same target, so
+a detected (or missed!) fault is exactly reproducible.
+
+Faults are applied at a quantum boundary (the first boundary at or
+after ``at_ref`` replayed references); pair them with ``per-quantum``
+checking, which runs at the same boundary, so the corruption is
+examined before subsequent replay can coincidentally repair it (e.g.
+an eviction popping an injected duplicate).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Union
+
+from repro.integrity.errors import FaultInjectionError
+
+
+class FaultKind(enum.Enum):
+    """The classes of corruption a :class:`FaultPlan` can inject."""
+
+    #: Rewrite directory ownership so it names a node holding nothing.
+    PROTOCOL_STATE = "protocol-state"
+    #: Make the directory forget a node's copy (a dropped invalidation
+    #: ack / eviction hint: the node keeps data the home knows nothing of).
+    DROP_INVALIDATION = "drop-invalidation"
+    #: Move a line into a set its index does not map to.
+    LRU_CORRUPT = "lru-corrupt"
+    #: Install the same line twice in one set.
+    DUPLICATE_LINE = "duplicate-line"
+    #: Set a dirty bit for a line that is not resident.
+    DIRTY_ORPHAN = "dirty-orphan"
+    #: Fill an L1 with a line the inclusive L2 does not hold.
+    INCLUSION_BREAK = "inclusion-break"
+
+
+@dataclass
+class FaultPlan:
+    """One seeded, deterministic corruption of simulator state.
+
+    ``at_ref`` positions the fault: it is applied at the first quantum
+    boundary after at least that many references have been replayed
+    (0 = after the first quantum).  ``seed`` picks among eligible
+    targets.  After application, ``applied`` is True and ``target``
+    records what was corrupted, for reports and debugging.
+    """
+
+    kind: Union[FaultKind, str]
+    at_ref: int = 0
+    seed: int = 0
+    applied: bool = field(default=False, init=False)
+    target: Dict[str, Any] = field(default_factory=dict, init=False)
+
+    def __post_init__(self):
+        if not isinstance(self.kind, FaultKind):
+            try:
+                self.kind = FaultKind(str(self.kind).lower().replace("_", "-"))
+            except ValueError:
+                options = ", ".join(repr(k.value) for k in FaultKind)
+                raise FaultInjectionError(
+                    f"unknown fault kind {self.kind!r} (choose one of {options})"
+                ) from None
+        if self.at_ref < 0:
+            raise FaultInjectionError("at_ref must be non-negative")
+
+    # -- application --------------------------------------------------------
+
+    def apply(self, system, protocol) -> Dict[str, Any]:
+        """Corrupt ``system``/``protocol`` state; record and return the target."""
+        if self.applied:
+            return self.target
+        rng = random.Random(self.seed)
+        applier = getattr(self, "_" + self.kind.name.lower())
+        self.target = applier(rng, system, protocol)
+        self.applied = True
+        return self.target
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _node_holds(system, node_id: int, line: int) -> bool:
+        if system.nodes[node_id].holds(line):
+            return True
+        return system.racs is not None and system.racs[node_id].holds(line)
+
+    @staticmethod
+    def _nonempty_l2(rng, system):
+        """Pick (node_id, l2) with at least one resident line."""
+        order = list(range(len(system.nodes)))
+        rng.shuffle(order)
+        for node_id in order:
+            l2 = system.nodes[node_id].l2
+            if l2.occupancy:
+                return node_id, l2
+        raise FaultInjectionError("no node has a resident L2 line to corrupt")
+
+    # -- appliers (one per FaultKind) ---------------------------------------
+
+    def _protocol_state(self, rng, system, protocol):
+        directory = protocol.directory
+        num_nodes = len(system.nodes)
+        tracked = sorted(directory._sharers)
+        if not tracked:
+            raise FaultInjectionError("directory is empty; nothing to corrupt")
+        if num_nodes > 1:
+            for line in rng.sample(tracked, len(tracked)):
+                sharers = directory._sharers[line]
+                thieves = [
+                    n for n in range(num_nodes)
+                    if n not in sharers and not self._node_holds(system, n, line)
+                ]
+                if thieves:
+                    thief = rng.choice(thieves)
+                    directory.set_owner(line, thief)
+                    return {"line": line, "owner": thief, "was": sorted(sharers)}
+        # Single node (or every node holds every tracked line): claim a
+        # ghost line nobody holds.  Resident lines are always tracked,
+        # so anything past the maximum tracked line is free.
+        ghost = max(tracked) + 1
+        directory.set_owner(ghost, 0)
+        return {"line": ghost, "owner": 0, "was": "untracked"}
+
+    def _drop_invalidation(self, rng, system, protocol):
+        node_id, l2 = self._nonempty_l2(rng, system)
+        line = rng.choice(sorted(l2.resident_lines()))
+        protocol.directory.remove_node(line, node_id)
+        return {"node": node_id, "cache": l2.name, "line": line}
+
+    def _lru_corrupt(self, rng, system, protocol):
+        node_id, l2 = self._nonempty_l2(rng, system)
+        if l2.num_sets < 2:
+            raise FaultInjectionError(
+                f"{l2.name} has a single set; no wrong set to move a line into"
+            )
+        idxs = [i for i, ways in enumerate(l2._sets) if ways]
+        idx = rng.choice(idxs)
+        line = l2._sets[idx].pop()
+        l2._dirty[idx].discard(line)
+        dest = (idx + 1 + rng.randrange(l2.num_sets - 1)) % l2.num_sets
+        l2._sets[dest].append(line)
+        return {"node": node_id, "cache": l2.name, "line": line,
+                "from_set": idx, "to_set": dest}
+
+    def _duplicate_line(self, rng, system, protocol):
+        node_id, l2 = self._nonempty_l2(rng, system)
+        idxs = [i for i, ways in enumerate(l2._sets) if ways]
+        idx = rng.choice(idxs)
+        line = l2._sets[idx][0]
+        l2._sets[idx].append(line)
+        return {"node": node_id, "cache": l2.name, "line": line, "set": idx}
+
+    def _dirty_orphan(self, rng, system, protocol):
+        node_id = rng.randrange(len(system.nodes))
+        l2 = system.nodes[node_id].l2
+        idx = rng.randrange(l2.num_sets)
+        line = idx
+        while line in l2._sets[idx]:
+            line += l2.num_sets
+        l2._dirty[idx].add(line)
+        return {"node": node_id, "cache": l2.name, "line": line, "set": idx}
+
+    def _inclusion_break(self, rng, system, protocol):
+        node_id = rng.randrange(len(system.nodes))
+        node = system.nodes[node_id]
+        l1 = rng.choice(node.l1ds + node.l1is)
+        line = 0
+        while node.l2.contains(line) or l1.contains(line):
+            line += 1
+        l1.fill(line)
+        return {"node": node_id, "cache": l1.name, "line": line}

@@ -102,6 +102,19 @@ class SetAssocCache:
         for ways in self._sets:
             yield from ways
 
+    def dirty_lines(self):
+        """Iterate over all dirty resident line numbers (diagnostics)."""
+        for dirty in self._dirty:
+            yield from dirty
+
+    def sets(self):
+        """Iterate ``(ways, dirty)`` per set, MRU-first, in index order.
+
+        Exposed for the integrity checker; the returned structures are
+        the live internals and must not be mutated by callers.
+        """
+        return zip(self._sets, self._dirty)
+
     @property
     def occupancy(self) -> int:
         """Number of valid lines currently held."""

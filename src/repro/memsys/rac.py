@@ -77,6 +77,11 @@ class RemoteAccessCache:
         """Externally invalidate a line; True when dirty data was lost."""
         return self.cache.invalidate(line)
 
+    def reset_stats(self) -> None:
+        """Zero the probe/hit counters (warmup/measurement boundary)."""
+        self.hits = 0
+        self.probes = 0
+
     def holds(self, line: int) -> bool:
         return self.cache.contains(line)
 

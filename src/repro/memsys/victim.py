@@ -39,6 +39,14 @@ class VictimBuffer:
     def is_dirty(self, line: int) -> bool:
         return line in self._dirty
 
+    def lines(self) -> Tuple[int, ...]:
+        """All buffered lines, MRU first (diagnostics)."""
+        return tuple(self._lines)
+
+    def dirty_lines(self) -> Tuple[int, ...]:
+        """All buffered lines whose data is modified (diagnostics)."""
+        return tuple(self._dirty)
+
     def insert(self, line: int, dirty: bool) -> Optional[Tuple[int, bool]]:
         """Add an L2 victim; returns a displaced (line, dirty) or None."""
         self.inserts += 1

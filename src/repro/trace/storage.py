@@ -6,24 +6,45 @@ the same workload across processes and machines.  The format packs all
 quanta into three parallel arrays (cpu ids, offsets, references) plus
 a JSON metadata blob; loading reconstructs a fully functional
 :class:`~repro.trace.generator.OltpTrace`.
+
+Archives are versioned and checksummed (format 2 adds a CRC-32 over
+the packed arrays).  Any unreadable, corrupt, truncated, or
+future-version archive raises
+:class:`~repro.integrity.errors.TraceFormatError` instead of leaking a
+raw numpy/zipfile/KeyError; format-1 archives (no checksum) still
+load.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
+import zlib
 from array import array
 from dataclasses import asdict
 from typing import Union
 
 import numpy as np
 
+from repro.integrity.errors import TraceFormatError
 from repro.oltp.config import WorkloadConfig
 from repro.oltp.engine import EngineStats
 from repro.oltp.schema import TpcbScale
 from repro.trace.generator import OltpTrace, TraceQuantum
 
 #: Format version written into every archive.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Oldest format this build can still read (format 1 lacks a checksum).
+OLDEST_READABLE_VERSION = 1
+
+
+def _content_crc(cpus, offsets, refs, text_pages) -> int:
+    """CRC-32 over the packed data arrays (not the metadata blob)."""
+    crc = 0
+    for arr in (cpus, offsets, refs, text_pages):
+        crc = zlib.crc32(np.ascontiguousarray(arr).tobytes(), crc)
+    return crc
 
 
 def save_trace(trace: OltpTrace, path: Union[str, "object"]) -> None:
@@ -37,11 +58,13 @@ def save_trace(trace: OltpTrace, path: Union[str, "object"]) -> None:
     refs = np.empty(int(offsets[-1]), dtype=np.int64)
     for i, q in enumerate(trace.quanta):
         refs[offsets[i]:offsets[i + 1]] = q.refs
+    text_pages = np.array(sorted(trace.text_pages), dtype=np.int64)
 
     config = asdict(trace.config)
     tpcb = config.pop("tpcb")
     meta = {
         "format": FORMAT_VERSION,
+        "crc32": _content_crc(cpus, offsets, refs, text_pages),
         "ncpus": trace.ncpus,
         "scale": trace.scale,
         "page_bytes": trace.page_bytes,
@@ -57,24 +80,66 @@ def save_trace(trace: OltpTrace, path: Union[str, "object"]) -> None:
         cpus=cpus,
         offsets=offsets,
         refs=refs,
-        text_pages=np.array(sorted(trace.text_pages), dtype=np.int64),
+        text_pages=text_pages,
     )
 
 
 def load_trace(path: Union[str, "object"]) -> OltpTrace:
-    """Read a trace written by :func:`save_trace`."""
+    """Read a trace written by :func:`save_trace`.
+
+    Raises :class:`TraceFormatError` when the archive is corrupt,
+    truncated, missing required members, fails its checksum, or was
+    written by a format this build cannot read.  A missing file still
+    raises the ordinary ``FileNotFoundError``.
+    """
+    try:
+        return _load_trace(path)
+    except TraceFormatError:
+        raise
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, EOFError, KeyError, IndexError,
+            TypeError, ValueError) as exc:
+        raise TraceFormatError(
+            f"cannot read trace archive {path!r}: {exc}"
+        ) from exc
+
+
+def _load_trace(path) -> OltpTrace:
     with np.load(path) as data:
         meta = json.loads(bytes(data["meta"]).decode())
-        if meta.get("format") != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported trace format {meta.get('format')!r} "
-                f"(expected {FORMAT_VERSION})"
+        version = meta.get("format")
+        if (not isinstance(version, int)
+                or not OLDEST_READABLE_VERSION <= version <= FORMAT_VERSION):
+            raise TraceFormatError(
+                f"unsupported trace format {version!r} (this build reads "
+                f"versions {OLDEST_READABLE_VERSION}..{FORMAT_VERSION}); "
+                "regenerate the trace or upgrade the package"
             )
         cpus = data["cpus"]
         offsets = data["offsets"]
         refs = data["refs"]
-        text_pages = frozenset(int(p) for p in data["text_pages"])
+        text_pages_arr = data["text_pages"]
 
+    if version >= 2:
+        expected = meta.get("crc32")
+        actual = _content_crc(cpus, offsets, refs, text_pages_arr)
+        if expected != actual:
+            raise TraceFormatError(
+                f"trace archive {path!r} failed its content checksum "
+                f"(stored {expected!r}, computed {actual}); the file is "
+                "corrupt — regenerate it"
+            )
+    if (len(offsets) != len(cpus) + 1
+            or (len(offsets) and (int(offsets[0]) != 0
+                                  or int(offsets[-1]) != len(refs)))
+            or np.any(np.diff(offsets) < 0)):
+        raise TraceFormatError(
+            f"trace archive {path!r} has inconsistent quantum offsets; "
+            "the file is truncated or corrupt"
+        )
+
+    text_pages = frozenset(int(p) for p in text_pages_arr)
     quanta = [
         TraceQuantum(int(cpus[i]),
                      array("q", refs[offsets[i]:offsets[i + 1]].tolist()))

@@ -36,6 +36,13 @@ class TestSettingsResolution:
     def test_seed_passthrough(self):
         assert _settings(parse(seed=99)).seed == 99
 
+    def test_check_passthrough(self):
+        assert _settings(parse(check="per-quantum")).check == "per-quantum"
+
+    def test_namespace_without_check_still_works(self):
+        # Older call sites build a Namespace without the --check field.
+        assert _settings(parse()).check == "off"
+
 
 class TestCsvExport:
     def test_fig7_writes_csv(self, tmp_path):
@@ -50,6 +57,12 @@ class TestCsvExport:
         run_figure("fig3", Settings.paper(), csv_dir=str(tmp_path))
         assert not list(tmp_path.iterdir())
 
+    def test_missing_csv_dir_is_created(self, tmp_path):
+        tiny = Settings(scale=256, uni_txns=15, mp_txns=30, seed=3)
+        target = tmp_path / "does" / "not" / "exist"
+        run_figure("fig7", tiny, csv_dir=str(target))
+        assert (target / "fig7.csv").exists()
+
 
 class TestMain:
     def test_bad_figure_rejected(self, capsys):
@@ -60,3 +73,39 @@ class TestMain:
         # Parse-only check: ensure the choice exists (run would be slow).
         with pytest.raises(SystemExit):
             main(["ablations", "--no-such-flag"])
+
+    def test_selftest_accepted_as_choice(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["selftest", "--no-such-flag"])
+
+    def test_driver_error_gives_exit_code_not_traceback(self, capsys):
+        # A bad scale blows up inside the trace generator; the CLI must
+        # turn that into a one-line stderr message and a nonzero exit.
+        code = main(["fig5", "--scale", "-5"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "repro-oltp:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_successful_run_exits_zero(self, capsys, tmp_path):
+        code = main(["fig3", "--csv", str(tmp_path / "new_dir")])
+        assert code == 0
+        assert (tmp_path / "new_dir").is_dir()
+
+    def test_keyboard_interrupt_reports_completed(self, capsys, monkeypatch):
+        import repro.experiments.cli as cli
+
+        calls = []
+
+        def fake_run_figure(name, settings, chart=False, csv_dir=None):
+            calls.append(name)
+            if len(calls) == 2:
+                raise KeyboardInterrupt
+            return f"[{name} output]"
+
+        monkeypatch.setattr(cli, "run_figure", fake_run_figure)
+        code = cli.main(["all", "--quick"])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "fig3" in err  # the one figure that completed

@@ -1,0 +1,114 @@
+"""The invariant checker: level coercion, clean runs, and detection."""
+
+import pytest
+
+from repro.core.machine import MachineConfig
+from repro.core.system import System, simulate
+from repro.integrity import CheckLevel, Checker, ConfigError, InvariantViolation
+from repro.trace.generator import build_trace
+from repro.trace.synthetic import make_trace, sweep_refs
+
+
+@pytest.fixture(scope="module")
+def mp_trace():
+    return build_trace(ncpus=4, scale=256, txns=40, warmup_txns=10, seed=11)
+
+
+class TestCheckLevel:
+    def test_coerce_strings(self):
+        assert CheckLevel.coerce("off") is CheckLevel.OFF
+        assert CheckLevel.coerce("end-of-run") is CheckLevel.END_OF_RUN
+        assert CheckLevel.coerce("per-quantum") is CheckLevel.PER_QUANTUM
+
+    def test_coerce_underscores(self):
+        assert CheckLevel.coerce("per_quantum") is CheckLevel.PER_QUANTUM
+
+    def test_coerce_enum_passthrough(self):
+        assert CheckLevel.coerce(CheckLevel.END_OF_RUN) is CheckLevel.END_OF_RUN
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ConfigError):
+            CheckLevel.coerce("sometimes")
+
+    def test_flags(self):
+        assert not Checker("off").enabled
+        assert Checker("end-of-run").enabled
+        assert not Checker("end-of-run").per_quantum
+        assert Checker("per-quantum").per_quantum
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("level", ["end-of-run", "per-quantum"])
+    def test_multiprocessor_clean(self, mp_trace, level):
+        machine = MachineConfig.fully_integrated(4, scale=256)
+        result = simulate(machine, mp_trace, check=level)
+        assert result.trace_refs > 0
+
+    def test_uniprocessor_clean(self, mp_trace):
+        trace = build_trace(ncpus=1, scale=256, txns=25, seed=11)
+        simulate(MachineConfig.base(1, scale=256), trace, check="per-quantum")
+
+    def test_rac_and_victim_clean(self, mp_trace):
+        machine = MachineConfig.fully_integrated(
+            4, scale=256, rac_size=64 * 1024, victim_entries=8
+        )
+        simulate(machine, mp_trace, check="per-quantum")
+
+    def test_checks_run_counted(self, mp_trace):
+        system = System(MachineConfig.base(4, scale=256), check="per-quantum")
+        system.run(mp_trace)
+        # One check per quantum plus the end-of-run check.
+        assert system.checker.checks_run == len(mp_trace.quanta) + 1
+
+    def test_off_runs_no_checks(self, mp_trace):
+        system = System(MachineConfig.base(4, scale=256), check="off")
+        system.run(mp_trace)
+        assert system.checker.checks_run == 0
+
+
+class TestDetection:
+    """Hand-planted corruption is found by a direct check_system call."""
+
+    def _ran_system(self):
+        machine = MachineConfig.base(2, l2_size=8192, l2_assoc=2, scale=1)
+        trace = make_trace(
+            2,
+            [(0, sweep_refs(0, 64)), (1, sweep_refs(64, 64)),
+             (0, sweep_refs(0, 64, write=True))],
+            page_bytes=256,
+        )
+        system = System(machine, check="end-of-run")
+        system.run(trace)
+        return system
+
+    def test_inclusion_violation_found(self):
+        system = self._ran_system()
+        node = system.nodes[0]
+        l2_lines = set(node.l2.resident_lines())
+        missing = max(l2_lines) + 1
+        node.l1ds[0].fill(missing)
+        with pytest.raises(InvariantViolation) as exc_info:
+            system.checker.check_system(system, system.protocol)
+        assert exc_info.value.invariant == "l1-l2-inclusion"
+        assert exc_info.value.node == 0
+
+    def test_overfull_set_found(self):
+        system = self._ran_system()
+        l2 = system.nodes[1].l2
+        target = next(i for i, ways in enumerate(l2._sets) if ways)
+        line = l2._sets[target][0]
+        l2._sets[target].extend(line + l2.num_sets * (k + 1) for k in range(3))
+        with pytest.raises(InvariantViolation) as exc_info:
+            system.checker.check_system(system, system.protocol)
+        assert exc_info.value.invariant in ("set-occupancy",
+                                            "directory-missing-copy")
+
+    def test_dirty_nonresident_found(self):
+        system = self._ran_system()
+        l2 = system.nodes[0].l2
+        target = next(i for i, ways in enumerate(l2._sets) if ways)
+        ghost = l2._sets[target][0] + l2.num_sets * 64
+        l2._dirty[target].add(ghost)
+        with pytest.raises(InvariantViolation) as exc_info:
+            system.checker.check_system(system, system.protocol)
+        assert exc_info.value.invariant == "dirty-not-resident"

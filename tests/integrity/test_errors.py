@@ -1,0 +1,63 @@
+"""The error taxonomy: hierarchy, back-compat bases, and forensics."""
+
+import pytest
+
+from repro.integrity import (
+    ConfigError,
+    InvariantViolation,
+    ReproError,
+    TraceFormatError,
+    TraceMismatchError,
+)
+from repro.integrity.errors import FaultInjectionError, StateError
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for cls in (ConfigError, TraceFormatError, TraceMismatchError,
+                    InvariantViolation, StateError, FaultInjectionError):
+            assert issubclass(cls, ReproError)
+
+    def test_config_error_is_value_error(self):
+        # Pre-taxonomy callers caught ValueError; that must keep working.
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(TraceFormatError, ValueError)
+        assert issubclass(TraceMismatchError, ValueError)
+
+    def test_state_error_is_runtime_error(self):
+        assert issubclass(StateError, RuntimeError)
+        assert issubclass(FaultInjectionError, RuntimeError)
+
+    def test_catching_repro_error_catches_all(self):
+        with pytest.raises(ReproError):
+            raise TraceFormatError("bad archive")
+
+
+class TestInvariantViolation:
+    def test_message_carries_forensics(self):
+        exc = InvariantViolation(
+            "l1-l2-inclusion", "line missing from L2",
+            node=3, cache="n3c1.l1d", set_index=7, line=0x2A,
+        )
+        text = str(exc)
+        assert "invariant 'l1-l2-inclusion' violated" in text
+        assert "node=3" in text
+        assert "cache=n3c1.l1d" in text
+        assert "set=7" in text
+        assert "line=0x2a" in text
+
+    def test_forensics_dict(self):
+        exc = InvariantViolation("set-occupancy", "9 lines in 8-way set",
+                                 node=0, cache="n0.l2", set_index=12)
+        f = exc.forensics
+        assert f["invariant"] == "set-occupancy"
+        assert f["node"] == 0
+        assert f["cache"] == "n0.l2"
+        assert f["set"] == 12
+        assert "line" not in f
+
+    def test_extra_details_appear(self):
+        exc = InvariantViolation("reference-conservation", "off by 3",
+                                 details={"expected": 100, "actual": 97})
+        assert "expected" in str(exc)
+        assert exc.forensics["expected"] == 100

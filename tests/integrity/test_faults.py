@@ -1,0 +1,101 @@
+"""Fault injection: every fault class must be caught by the checker.
+
+This is a mutation test of the checker itself — an invariant checker
+that passes clean runs but misses planted corruption is vacuous.
+"""
+
+import random
+
+import pytest
+
+from repro.core.machine import MachineConfig
+from repro.core.system import simulate
+from repro.cpu.events import encode
+from repro.integrity import FaultKind, FaultPlan, InvariantViolation
+from repro.integrity.errors import FaultInjectionError
+from repro.trace.synthetic import make_trace
+
+
+def _trace(ncpus=4, quanta=60, seed=3):
+    rng = random.Random(seed)
+    body = []
+    for _ in range(quanta):
+        refs = []
+        for _ in range(rng.randint(10, 30)):
+            instr = rng.random() < 0.3
+            refs.append(encode(rng.randrange(300),
+                               write=not instr and rng.random() < 0.4,
+                               instr=instr))
+        body.append((rng.randrange(ncpus), refs))
+    return make_trace(ncpus, body, page_bytes=256)
+
+
+MACHINE = MachineConfig.base(4, l2_size=8192, l2_assoc=2, scale=1)
+
+# The invariant(s) each fault class legitimately trips.  A fault may
+# cascade (e.g. an LRU move is seen first as a set-index mismatch).
+EXPECTED = {
+    FaultKind.PROTOCOL_STATE: {"directory-stale-copy", "dirty-without-ownership",
+                               "owner-not-sharer"},
+    FaultKind.DROP_INVALIDATION: {"directory-missing-copy"},
+    FaultKind.LRU_CORRUPT: {"set-index", "set-occupancy", "directory-missing-copy"},
+    FaultKind.DUPLICATE_LINE: {"duplicate-line", "set-occupancy"},
+    FaultKind.DIRTY_ORPHAN: {"dirty-not-resident"},
+    FaultKind.INCLUSION_BREAK: {"l1-l2-inclusion"},
+}
+
+
+class TestFaultPlanValidation:
+    def test_string_kind_coerced(self):
+        plan = FaultPlan("lru-corrupt")
+        assert plan.kind is FaultKind.LRU_CORRUPT
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan("meltdown")
+
+    def test_negative_ref_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(FaultKind.LRU_CORRUPT, at_ref=-1)
+
+
+class TestDetection:
+    @pytest.mark.parametrize("kind", list(FaultKind), ids=lambda k: k.value)
+    def test_every_fault_detected(self, kind):
+        plan = FaultPlan(kind, at_ref=100, seed=9)
+        with pytest.raises(InvariantViolation) as exc_info:
+            simulate(MACHINE, _trace(), check="per-quantum", fault_plan=plan)
+        assert plan.applied, "fault was never injected"
+        assert exc_info.value.invariant in EXPECTED[kind]
+
+    @pytest.mark.parametrize("kind", list(FaultKind), ids=lambda k: k.value)
+    def test_detected_at_end_of_run_too(self, kind):
+        # at_ref beyond the trace: the fault lands after the replay
+        # loop, so it cannot be masked by later evictions.
+        plan = FaultPlan(kind, at_ref=10**9, seed=9)
+        with pytest.raises(InvariantViolation):
+            simulate(MACHINE, _trace(), check="end-of-run", fault_plan=plan)
+
+    def test_violation_carries_forensics(self):
+        plan = FaultPlan(FaultKind.LRU_CORRUPT, at_ref=50, seed=2)
+        with pytest.raises(InvariantViolation) as exc_info:
+            simulate(MACHINE, _trace(), check="per-quantum", fault_plan=plan)
+        forensics = exc_info.value.forensics
+        assert forensics["invariant"]
+        assert "node" in forensics
+
+    def test_deterministic_target(self):
+        messages = set()
+        for _ in range(2):
+            plan = FaultPlan(FaultKind.DUPLICATE_LINE, at_ref=80, seed=4)
+            with pytest.raises(InvariantViolation) as exc_info:
+                simulate(MACHINE, _trace(), check="per-quantum", fault_plan=plan)
+            messages.add(str(exc_info.value))
+        assert len(messages) == 1
+
+    def test_unchecked_run_misses_the_fault(self):
+        # The point of the checker: without it the corruption is silent.
+        plan = FaultPlan(FaultKind.DIRTY_ORPHAN, at_ref=100, seed=9)
+        result = simulate(MACHINE, _trace(), check="off", fault_plan=plan)
+        assert plan.applied
+        assert result.trace_refs > 0

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.trace",
     "repro.stats",
     "repro.experiments",
+    "repro.integrity",
 ]
 
 

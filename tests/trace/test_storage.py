@@ -1,10 +1,13 @@
-"""Tests for trace save/load round-tripping."""
+"""Tests for trace save/load round-tripping and corruption handling."""
+
+import json
 
 import numpy as np
 import pytest
 
 from repro.core.machine import MachineConfig
 from repro.core.system import simulate
+from repro.integrity import TraceFormatError
 from repro.trace.generator import build_trace
 from repro.trace.storage import FORMAT_VERSION, load_trace, save_trace
 
@@ -50,17 +53,103 @@ def test_loaded_trace_simulates_identically(tmp_path, trace):
     assert a.misses.as_dict() == b.misses.as_dict()
 
 
+def _rewrite(path, mutate):
+    """Load the archive's members, apply ``mutate``, and write it back."""
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        arrays = {k: data[k] for k in data.files}
+    mutate(meta, arrays)
+    arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez(path, **arrays)
+
+
 def test_rejects_unknown_format(tmp_path, trace):
     path = tmp_path / "trace.npz"
     save_trace(trace, path)
-    # Corrupt the version field.
-    import json
 
-    with np.load(path) as data:
-        meta = json.loads(bytes(data["meta"]).decode())
+    def bump(meta, arrays):
         meta["format"] = FORMAT_VERSION + 99
-        arrays = {k: data[k] for k in data.files}
-    arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
-    np.savez(path, **arrays)
+
+    _rewrite(path, bump)
+    # TraceFormatError must still be catchable as the historical ValueError.
     with pytest.raises(ValueError):
         load_trace(path)
+    with pytest.raises(TraceFormatError, match="unsupported trace format"):
+        load_trace(path)
+
+
+def test_rejects_truncated_archive(tmp_path, trace):
+    path = tmp_path / "trace.npz"
+    save_trace(trace, path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_rejects_garbage_bytes(tmp_path):
+    path = tmp_path / "trace.npz"
+    path.write_bytes(b"this is not an npz archive at all" * 10)
+    with pytest.raises(TraceFormatError, match="cannot read trace archive"):
+        load_trace(path)
+
+
+def test_rejects_checksum_mismatch(tmp_path, trace):
+    path = tmp_path / "trace.npz"
+    save_trace(trace, path)
+
+    def corrupt_refs(meta, arrays):
+        arrays["refs"] = arrays["refs"].copy()
+        arrays["refs"][0] ^= 0x10  # flip one bit of one reference
+
+    _rewrite(path, corrupt_refs)
+    with pytest.raises(TraceFormatError, match="checksum"):
+        load_trace(path)
+
+
+def test_rejects_missing_member(tmp_path, trace):
+    path = tmp_path / "trace.npz"
+    save_trace(trace, path)
+
+    def drop_refs(meta, arrays):
+        del arrays["refs"]
+
+    _rewrite(path, drop_refs)
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_rejects_inconsistent_offsets(tmp_path, trace):
+    path = tmp_path / "trace.npz"
+    save_trace(trace, path)
+
+    def shrink_offsets(meta, arrays):
+        arrays["offsets"] = arrays["offsets"][:-2]
+        # Keep the checksum valid so the structural check is what fires.
+        from repro.trace.storage import _content_crc
+
+        meta["crc32"] = _content_crc(arrays["cpus"], arrays["offsets"],
+                                     arrays["refs"], arrays["text_pages"])
+
+    _rewrite(path, shrink_offsets)
+    with pytest.raises(TraceFormatError, match="offsets"):
+        load_trace(path)
+
+
+def test_version1_archive_still_loads(tmp_path, trace):
+    path = tmp_path / "trace.npz"
+    save_trace(trace, path)
+
+    def downgrade(meta, arrays):
+        meta["format"] = 1
+        del meta["crc32"]
+
+    _rewrite(path, downgrade)
+    loaded = load_trace(path)
+    assert loaded.ncpus == trace.ncpus
+    assert len(loaded.quanta) == len(trace.quanta)
+
+
+def test_missing_file_is_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_trace(tmp_path / "nope.npz")
