@@ -9,7 +9,7 @@ by the workload's scale factor (DESIGN.md Section 6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Optional
 
 from repro.integrity.errors import ConfigError
@@ -176,6 +176,60 @@ class MachineConfig:
     def with_(self, **changes) -> "MachineConfig":
         """A copy with the given fields replaced."""
         return replace(self, **changes)
+
+    # -- serialization (campaign result cache; exact round trip) ----------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation; inverse of :meth:`from_dict`."""
+        return {
+            "label": self.label,
+            "ncpus": self.ncpus,
+            "integration": self.integration.value,
+            "l2_size": self.l2_size,
+            "l2_assoc": self.l2_assoc,
+            "l2_technology": self.l2_technology.value,
+            "cpu_model": self.cpu_model,
+            "rac_size": self.rac_size,
+            "rac_assoc": self.rac_assoc,
+            "replicate_code": self.replicate_code,
+            "cores_per_node": self.cores_per_node,
+            "victim_entries": self.victim_entries,
+            "tlb_entries": self.tlb_entries,
+            "scale": self.scale,
+            "latency_override": (
+                None if self.latency_override is None
+                else asdict(self.latency_override)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineConfig":
+        """Rebuild a configuration from :meth:`to_dict` output.
+
+        Runs the full ``__post_init__`` validation, so a tampered or
+        stale payload raises :class:`~repro.integrity.errors.ConfigError`
+        rather than producing an unsimulatable machine.
+        """
+        override = data.get("latency_override")
+        return cls(
+            label=data["label"],
+            ncpus=data["ncpus"],
+            integration=IntegrationLevel(data["integration"]),
+            l2_size=data["l2_size"],
+            l2_assoc=data["l2_assoc"],
+            l2_technology=L2Technology(data["l2_technology"]),
+            cpu_model=data["cpu_model"],
+            rac_size=data["rac_size"],
+            rac_assoc=data["rac_assoc"],
+            replicate_code=data["replicate_code"],
+            cores_per_node=data["cores_per_node"],
+            victim_entries=data["victim_entries"],
+            tlb_entries=data["tlb_entries"],
+            scale=data["scale"],
+            latency_override=(
+                None if override is None else LatencyTable(**override)
+            ),
+        )
 
     # -- factories for the paper's named configurations ----------------------------
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import List
 
 from repro.coherence.network import MessageCounters
@@ -143,6 +143,51 @@ class RunResult:
                              "l1_misses": l1_misses},
                 )
         return self
+
+    # -- serialization (campaign result cache; exact round trip) ----------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation of every measured statistic.
+
+        The campaign result cache stores this verbatim;
+        :meth:`from_dict` reverses it exactly (Python's JSON float
+        encoding is round-trip exact), so a cache-served result is
+        indistinguishable from the simulation that produced it.
+        """
+        return {
+            "machine": self.machine.to_dict(),
+            "breakdown": asdict(self.breakdown),
+            "per_cpu": [asdict(b) for b in self.per_cpu],
+            "misses": asdict(self.misses),
+            "l1": asdict(self.l1),
+            "protocol": asdict(self.protocol),
+            "rac": asdict(self.rac),
+            "network": asdict(self.network),
+            "measured_txns": self.measured_txns,
+            "tlb_misses": self.tlb_misses,
+            "l2_hits": self.l2_hits,
+            "victim_hits": self.victim_hits,
+            "trace_refs": self.trace_refs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            machine=MachineConfig.from_dict(data["machine"]),
+            breakdown=ExecutionBreakdown(**data["breakdown"]),
+            per_cpu=[ExecutionBreakdown(**b) for b in data["per_cpu"]],
+            misses=MissBreakdown(**data["misses"]),
+            l1=L1Stats(**data["l1"]),
+            protocol=ProtocolStats(**data["protocol"]),
+            rac=RacStats(**data["rac"]),
+            network=MessageCounters(**data["network"]),
+            measured_txns=data["measured_txns"],
+            tlb_misses=data["tlb_misses"],
+            l2_hits=data["l2_hits"],
+            victim_hits=data["victim_hits"],
+            trace_refs=data["trace_refs"],
+        )
 
     def speedup_over(self, other: "RunResult") -> float:
         """How much faster this run is than ``other`` (paper's 'X times')."""

@@ -23,10 +23,9 @@ from typing import List, Optional, Tuple
 
 from repro.core.machine import MachineConfig
 from repro.core.results import RunResult
-from repro.core.system import simulate
-from repro.experiments.common import Settings, get_trace
+from repro.experiments.common import Settings, get_trace, trace_spec
 from repro.params import MB
-from repro.trace.generator import build_trace
+from repro.runner import SimJob, TraceSpec, run_simulations
 
 
 # ---------------------------------------------------------------------------
@@ -60,7 +59,7 @@ class VictimBufferStudy:
 
 def victim_buffer_study(settings: Optional[Settings] = None) -> VictimBufferStudy:
     settings = settings or Settings.paper()
-    trace = get_trace(8, settings)
+    spec = trace_spec(8, settings)
     scale = settings.scale
 
     def machine(assoc: int, vb: int) -> MachineConfig:
@@ -69,15 +68,20 @@ def victim_buffer_study(settings: Optional[Settings] = None) -> VictimBufferStud
         )
 
     check = settings.check
-    rows = [
-        ("2M1w", simulate(machine(1, 0), trace, check=check)),
-        ("2M1w +VB8", simulate(machine(1, 8), trace, check=check)),
-        ("2M1w +VB16", simulate(machine(1, 16), trace, check=check)),
-        ("2M1w +VB64", simulate(machine(1, 64), trace, check=check)),
-        ("2M2w", simulate(machine(2, 0), trace, check=check)),
-        ("2M8w", simulate(machine(8, 0), trace, check=check)),
+    points = [
+        ("2M1w", machine(1, 0)),
+        ("2M1w +VB8", machine(1, 8)),
+        ("2M1w +VB16", machine(1, 16)),
+        ("2M1w +VB64", machine(1, 64)),
+        ("2M2w", machine(2, 0)),
+        ("2M8w", machine(8, 0)),
     ]
-    return VictimBufferStudy(rows)
+    results = run_simulations(
+        [SimJob(spec=spec, machine=m, check=check) for _, m in points]
+    )
+    return VictimBufferStudy(
+        [(label, r) for (label, _), r in zip(points, results)]
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -115,21 +119,22 @@ class CmpStudy:
 def cmp_study(settings: Optional[Settings] = None) -> CmpStudy:
     settings = settings or Settings.paper()
     txns = settings.mp_txns * 4 // 3
-    trace = build_trace(ncpus=16, scale=settings.scale, txns=txns, seed=settings.seed)
+    spec = TraceSpec(ncpus=16, scale=settings.scale, txns=txns,
+                     seed=settings.seed)
     scale = settings.scale
     check = settings.check
-    rows = [
+    points = [
         ("16 chips x 1 core",
-         simulate(MachineConfig.fully_integrated(16, scale=scale), trace,
-                  check=check)),
+         MachineConfig.fully_integrated(16, scale=scale)),
         ("8 chips x 2 cores",
-         simulate(MachineConfig.chip_multiprocessor(8, cores_per_node=2, scale=scale),
-                  trace, check=check)),
+         MachineConfig.chip_multiprocessor(8, cores_per_node=2, scale=scale)),
         ("4 chips x 4 cores",
-         simulate(MachineConfig.chip_multiprocessor(4, cores_per_node=4, scale=scale),
-                  trace, check=check)),
+         MachineConfig.chip_multiprocessor(4, cores_per_node=4, scale=scale)),
     ]
-    return CmpStudy(rows)
+    results = run_simulations(
+        [SimJob(spec=spec, machine=m, check=check) for _, m in points]
+    )
+    return CmpStudy([(label, r) for (label, _), r in zip(points, results)])
 
 
 # ---------------------------------------------------------------------------
@@ -165,20 +170,27 @@ class LatencySensitivity:
 def latency_sensitivity(settings: Optional[Settings] = None,
                         ncpus: int = 8) -> LatencySensitivity:
     settings = settings or Settings.paper()
-    trace = get_trace(ncpus, settings)
+    spec = trace_spec(ncpus, settings)
     base_machine = MachineConfig.fully_integrated(ncpus, scale=settings.scale) \
         if ncpus > 1 else MachineConfig.integrated_l2_mc(scale=settings.scale)
-    baseline = simulate(base_machine, trace, check=settings.check)
     table = base_machine.latencies
-    deltas = []
-    for field_name in ("l2_hit", "local", "remote_clean", "remote_dirty"):
-        if ncpus == 1 and field_name.startswith("remote"):
-            continue
+    classes = [
+        name for name in ("l2_hit", "local", "remote_clean", "remote_dirty")
+        if ncpus > 1 or not name.startswith("remote")
+    ]
+    machines = [base_machine]
+    for field_name in classes:
         bumped_value = int(getattr(table, field_name) * 1.5)
         bumped = replace(table, **{field_name: bumped_value})
-        machine = base_machine.with_(latency_override=bumped)
-        result = simulate(machine, trace, check=settings.check)
-        deltas.append((field_name, result.exec_time / baseline.exec_time))
+        machines.append(base_machine.with_(latency_override=bumped))
+    results = run_simulations(
+        [SimJob(spec=spec, machine=m, check=settings.check) for m in machines]
+    )
+    baseline = results[0]
+    deltas = [
+        (name, result.exec_time / baseline.exec_time)
+        for name, result in zip(classes, results[1:])
+    ]
     return LatencySensitivity(ncpus, baseline, deltas)
 
 
@@ -218,17 +230,23 @@ class TlbStudy:
 def tlb_study(settings: Optional[Settings] = None,
               entry_counts: Tuple[int, ...] = (0, 64, 128, 256, 1024)) -> TlbStudy:
     settings = settings or Settings.paper()
-    trace = get_trace(8, settings)
+    spec = trace_spec(8, settings)
+    txns = max(1, get_trace(8, settings).measured_txns)
     base_machine = MachineConfig.fully_integrated(8, scale=settings.scale)
-    baseline = simulate(base_machine, trace, check=settings.check)
+    finite = [e for e in entry_counts if e != 0]
+    machines = [base_machine]
+    machines.extend(base_machine.with_(tlb_entries=e) for e in finite)
+    results = run_simulations(
+        [SimJob(spec=spec, machine=m, check=settings.check) for m in machines]
+    )
+    baseline = results[0]
+    by_entries = dict(zip(finite, results[1:]))
     rows = []
-    txns = max(1, trace.measured_txns)
     for entries in entry_counts:
         if entries == 0:
             rows.append((0, 1.0, 0.0))
             continue
-        result = simulate(base_machine.with_(tlb_entries=entries), trace,
-                          check=settings.check)
+        result = by_entries[entries]
         rows.append(
             (entries, result.exec_time / baseline.exec_time,
              result.tlb_misses / txns)
@@ -262,11 +280,17 @@ class ScalingStudy:
 
 def scaling_study(scales: Tuple[int, ...] = (64, 48, 32),
                   txns: int = 250, seed: int = 7) -> ScalingStudy:
-    rows = []
+    jobs = []
     for scale in scales:
-        trace = build_trace(ncpus=1, scale=scale, txns=txns, seed=seed)
-        base = simulate(MachineConfig.base(1, scale=scale), trace)
-        soc = simulate(MachineConfig.integrated_l2(1, scale=scale), trace)
+        spec = TraceSpec(ncpus=1, scale=scale, txns=txns, seed=seed)
+        jobs.append(SimJob(spec=spec, machine=MachineConfig.base(1, scale=scale)))
+        jobs.append(
+            SimJob(spec=spec, machine=MachineConfig.integrated_l2(1, scale=scale))
+        )
+    results = run_simulations(jobs)
+    rows = []
+    for i, scale in enumerate(scales):
+        base, soc = results[2 * i], results[2 * i + 1]
         rows.append(
             (
                 scale,

@@ -1,0 +1,113 @@
+"""The ``repro-oltp campaign`` verb: every figure, parallel and cached.
+
+A campaign installs a :class:`~repro.runner.CampaignRunner` as the
+active runner and replays the ordinary figure drivers through it, so
+each driver's configurations fan out across ``--jobs`` worker
+processes and land in (or are served from) the content-addressed
+result cache.  The second campaign over an unchanged tree therefore
+runs **zero** simulations.
+
+Cache layout under ``--cache-dir`` (default ``.repro-oltp-cache``)::
+
+    <cache-dir>/traces/   versioned .npz workload archives
+    <cache-dir>/results/  <job-hash>.json serialized RunResults
+
+Invalidation is automatic: job hashes include the machine config, the
+workload spec, the integrity-check level, the trace archive format
+version, and :data:`repro.runner.CODE_VERSION` — bumping the latter
+(any semantics-changing simulator edit) orphans every stale entry.
+Deleting the directory is always safe; corrupt entries are detected by
+checksum and silently re-simulated.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import IO, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import Settings
+from repro.runner import (
+    CacheStats,
+    CampaignRunner,
+    CampaignTelemetry,
+    ResultCache,
+    use_runner,
+)
+from repro.runner.tracestore import default_trace_store
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-oltp-cache"
+
+
+def default_jobs() -> int:
+    """Default worker count: up to 4, bounded by the machine."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+@dataclass
+class CampaignReport:
+    """Every figure's rendered text plus the run's telemetry."""
+
+    figures: List[Tuple[str, str]] = field(default_factory=list)
+    telemetry: Optional[CampaignTelemetry] = None
+    cache_stats: Optional[CacheStats] = None
+
+    def render(self) -> str:
+        parts = [text for _, text in self.figures]
+        if self.telemetry is not None:
+            parts.append(self.telemetry.render())
+        return "\n\n".join(parts)
+
+
+def run_campaign(
+    figures: Sequence[str],
+    settings: Settings,
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
+    use_cache: bool = True,
+    chart: bool = False,
+    csv_dir: Optional[str] = None,
+    progress: bool = True,
+    stream: Optional[IO[str]] = None,
+) -> CampaignReport:
+    """Run ``figures`` through a cache-backed (optionally parallel) runner.
+
+    ``cache_dir=None`` disables both the result cache and the trace
+    spill (everything stays in memory, nothing persists).  The
+    process-wide trace store is pointed at the campaign's trace
+    directory for the duration and restored afterwards.
+    """
+    # Late import: cli imports this module at load time.
+    from repro.experiments.cli import run_figure
+
+    stream = stream if stream is not None else sys.stderr
+    store = default_trace_store()
+    previous_spill = store.spill_dir
+    cache = None
+    if cache_dir:
+        os.makedirs(cache_dir, exist_ok=True)
+        store.spill_dir = os.path.join(cache_dir, "traces")
+        if use_cache:
+            cache = ResultCache(os.path.join(cache_dir, "results"))
+    runner = CampaignRunner(jobs=jobs, cache=cache, trace_store=store,
+                            progress=progress, stream=stream)
+    report = CampaignReport(telemetry=runner.telemetry,
+                            cache_stats=cache.stats if cache else None)
+    try:
+        with use_runner(runner):
+            for name in figures:
+                runner.begin_batch(name)
+                started = time.perf_counter()
+                text = run_figure(name, settings, chart=chart, csv_dir=csv_dir)
+                runner.telemetry.end_batch(
+                    name, time.perf_counter() - started
+                )
+                report.figures.append((name, text))
+    finally:
+        runner.close()
+        store.spill_dir = previous_spill
+    return report

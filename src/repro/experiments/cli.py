@@ -5,6 +5,7 @@ Usage::
     repro-oltp fig7                # reproduce Figure 7 at paper settings
     repro-oltp all --quick         # smoke-run every figure
     repro-oltp fig10 --scale 16    # bigger (slower, higher-fidelity) run
+    repro-oltp campaign --jobs 4   # all figures, parallel, result-cached
 """
 
 from __future__ import annotations
@@ -24,13 +25,15 @@ from repro.experiments import (
     rac,
 )
 from repro.experiments import ooo as ooo_experiment
+from repro.experiments.campaign import DEFAULT_CACHE_DIR, default_jobs, run_campaign
 from repro.experiments.common import Settings
 from repro.experiments.export import write_figure_csv
 from repro.experiments.report import render
 from repro.integrity import ReproError
+from repro.runner import JobFailed
 
 FIGURES = ("fig3", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13")
-EXTRAS = ("ablations", "selftest")
+EXTRAS = ("ablations", "selftest", "campaign")
 
 
 def _settings(args: argparse.Namespace) -> Settings:
@@ -125,11 +128,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="also print ASCII stacked-bar charts")
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also write each figure as CSV into DIR")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="campaign worker processes "
+                             "(default: min(4, cpu count))")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+                        help="campaign cache root for traces and results "
+                             f"(default {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="campaign: disable the on-disk result cache")
+    parser.add_argument("--no-progress", action="store_true",
+                        help="campaign: suppress per-job progress lines")
     args = parser.parse_args(argv)
 
     settings = _settings(args)
     completed: List[str] = []
     try:
+        if args.figure == "campaign":
+            report = run_campaign(
+                FIGURES,
+                settings,
+                jobs=args.jobs or default_jobs(),
+                cache_dir=args.cache_dir,
+                use_cache=not args.no_cache,
+                chart=args.chart,
+                csv_dir=args.csv,
+                progress=not args.no_progress,
+            )
+            print(report.render())
+            return 0
+
         if args.figure == "selftest":
             from repro.integrity import selftest
 
@@ -151,7 +178,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"\nrepro-oltp: interrupted; figures completed: {done}",
               file=sys.stderr)
         return 130
-    except ReproError as exc:
+    except (ReproError, JobFailed) as exc:
         print(f"repro-oltp: error: {exc}", file=sys.stderr)
         return 1
     except Exception as exc:  # no tracebacks for end users

@@ -1,22 +1,27 @@
 """Shared machinery for the per-figure experiment drivers.
 
-Every figure driver follows the same pattern: obtain (or reuse) the
-OLTP trace for its processor count, simulate a list of machine
-configurations against it, and return a :class:`Figure` whose rows are
-normalized the way the paper normalizes that figure.  Traces are
-cached per (ncpus, scale, txns, seed) so a full reproduction run
-generates each workload exactly once.
+Every figure driver follows the same pattern: name the OLTP workload
+for its processor count as a :class:`~repro.runner.TraceSpec`, simulate
+a list of machine configurations against it, and return a
+:class:`Figure` whose rows are normalized the way the paper normalizes
+that figure.  Simulations are enumerated as jobs through
+:func:`repro.runner.run_simulations`, so the same driver code runs
+serially by default and fans out across workers (with result caching)
+under ``repro-oltp campaign``.  Traces materialize through the
+process-wide bounded :class:`~repro.runner.TraceStore`, so a full
+reproduction run generates each workload exactly once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from repro.core.machine import MachineConfig
 from repro.core.results import RunResult
 from repro.core.system import simulate
-from repro.trace.generator import OltpTrace, build_trace
+from repro.runner import SimJob, TraceSpec, default_trace_store, run_simulations
+from repro.trace.generator import OltpTrace
 
 
 @dataclass(frozen=True)
@@ -45,25 +50,28 @@ class Settings:
         return cls(scale=64, uni_txns=120, mp_txns=320)
 
 
-_TRACE_CACHE: Dict[Tuple[int, int, int, int], OltpTrace] = {}
+def trace_spec(ncpus: int, settings: Settings) -> TraceSpec:
+    """The workload spec the drivers use for ``ncpus`` processors."""
+    txns = settings.uni_txns if ncpus == 1 else settings.mp_txns
+    return TraceSpec(
+        ncpus=ncpus, scale=settings.scale, txns=txns, seed=settings.seed
+    )
 
 
 def get_trace(ncpus: int, settings: Settings) -> OltpTrace:
-    """Build (or reuse) the OLTP trace for ``ncpus`` processors."""
-    txns = settings.uni_txns if ncpus == 1 else settings.mp_txns
-    key = (ncpus, settings.scale, txns, settings.seed)
-    trace = _TRACE_CACHE.get(key)
-    if trace is None:
-        trace = build_trace(
-            ncpus=ncpus, scale=settings.scale, txns=txns, seed=settings.seed
-        )
-        _TRACE_CACHE[key] = trace
-    return trace
+    """Materialize the OLTP trace for ``ncpus`` processors.
+
+    Resolves through the process-wide bounded
+    :class:`~repro.runner.TraceStore` — the same code path campaign
+    workers use — so repeated calls reuse one in-memory trace and,
+    when a spill directory is configured, one on-disk archive.
+    """
+    return default_trace_store().get(trace_spec(ncpus, settings))
 
 
 def clear_trace_cache() -> None:
-    """Drop cached traces (tests use this to bound memory)."""
-    _TRACE_CACHE.clear()
+    """Drop the in-memory traces (tests use this to bound memory)."""
+    default_trace_store().clear()
 
 
 @dataclass
@@ -122,14 +130,31 @@ def run_configs(
     figure_id: str,
     title: str,
     labelled_configs: List[Tuple[str, MachineConfig]],
-    trace: OltpTrace,
+    trace: Union[OltpTrace, TraceSpec],
     baseline_index: int = 0,
     check: str = "off",
 ) -> Figure:
-    """Simulate every configuration and normalize against the baseline."""
+    """Simulate every configuration and normalize against the baseline.
+
+    ``trace`` is normally a :class:`~repro.runner.TraceSpec`: the
+    configurations become independent jobs routed through the active
+    campaign runner (parallel, cached) or simulated inline when none is
+    installed.  A concrete :class:`OltpTrace` — synthetic traces in
+    tests, mostly — always simulates inline.
+    """
+    if isinstance(trace, TraceSpec):
+        results = run_simulations(
+            [SimJob(spec=trace, machine=machine, check=check)
+             for _, machine in labelled_configs]
+        )
+    else:
+        results = [
+            simulate(machine, trace, check=check)
+            for _, machine in labelled_configs
+        ]
     rows = [
-        Row(label, simulate(machine, trace, check=check))
-        for label, machine in labelled_configs
+        Row(label, result)
+        for (label, _), result in zip(labelled_configs, results)
     ]
     base_time = rows[baseline_index].result.exec_time or 1.0
     base_miss = rows[baseline_index].result.misses.total or 1

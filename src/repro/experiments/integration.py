@@ -12,8 +12,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.machine import MachineConfig
-from repro.experiments.common import Figure, Settings, get_trace, run_configs
-from repro.core.system import simulate
+from repro.experiments.common import Figure, Settings, run_configs, trace_spec
+from repro.runner import SimJob, simulate_spec
 
 
 def ladder_configs(ncpus: int, scale: int, cpu_model: str = "inorder"):
@@ -61,12 +61,11 @@ def run(settings: Optional[Settings] = None, cpu_model: str = "inorder") -> Inte
     settings = settings or Settings.paper()
     scale = settings.scale
 
-    uni_trace = get_trace(1, settings)
     uni = run_configs(
         "Figure 10 (uni)",
         f"integration ladder — uniprocessor ({cpu_model})",
         ladder_configs(1, scale, cpu_model),
-        uni_trace,
+        trace_spec(1, settings),
         check=settings.check,
     )
     uni.notes.append(
@@ -74,18 +73,20 @@ def run(settings: Optional[Settings] = None, cpu_model: str = "inorder") -> Inte
         "nearly all from the L2 step)"
     )
 
-    mp_trace = get_trace(8, settings)
+    mp_spec = trace_spec(8, settings)
     mp = run_configs(
         "Figure 10 (MP)",
         f"integration ladder — 8 processors ({cpu_model})",
         ladder_configs(8, scale, cpu_model),
-        mp_trace,
+        mp_spec,
         check=settings.check,
     )
-    cons = simulate(
-        MachineConfig.conservative_base(8, scale=scale, cpu_model=cpu_model),
-        mp_trace, check=settings.check,
-    )
+    cons = simulate_spec(SimJob(
+        spec=mp_spec,
+        machine=MachineConfig.conservative_base(8, scale=scale,
+                                                cpu_model=cpu_model),
+        check=settings.check,
+    ))
     full = mp.row("All").result
     cons_speedup = cons.exec_time / full.exec_time
     mp.notes.append(

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.machine import MachineConfig, cache_label
-from repro.experiments.common import Figure, Settings, get_trace, run_configs
+from repro.experiments.common import Figure, Settings, run_configs, trace_spec
 from repro.params import MB
 
 SIZES_MB = (1, 2, 4, 8)
@@ -54,14 +54,13 @@ def _annotate(figure: Figure, ncpus: int) -> None:
 def run(ncpus: int, settings: Optional[Settings] = None) -> Figure:
     """Run the off-chip sweep for 1 (Figure 5) or 8 (Figure 6) CPUs."""
     settings = settings or Settings.paper()
-    trace = get_trace(ncpus, settings)
     fig_id = "Figure 5" if ncpus == 1 else "Figure 6"
     title = (
         f"OLTP with off-chip L2 configurations — "
         f"{'uniprocessor' if ncpus == 1 else f'{ncpus} processors'}"
     )
     figure = run_configs(fig_id, title, sweep_configs(ncpus, settings.scale),
-                         trace, check=settings.check)
+                         trace_spec(ncpus, settings), check=settings.check)
     _annotate(figure, ncpus)
     return figure
 

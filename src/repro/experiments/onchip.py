@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.machine import MachineConfig
-from repro.experiments.common import Figure, Settings, get_trace, run_configs
+from repro.experiments.common import Figure, Settings, run_configs, trace_spec
 from repro.params import MB, L2Technology
 
 #: (label, size, assoc) for the integrated SRAM options, paper order.
@@ -75,14 +75,13 @@ def _annotate(figure: Figure, ncpus: int) -> None:
 def run(ncpus: int, settings: Optional[Settings] = None) -> Figure:
     """Run the on-chip study for 1 (Figure 7) or 8 (Figure 8) CPUs."""
     settings = settings or Settings.paper()
-    trace = get_trace(ncpus, settings)
     fig_id = "Figure 7" if ncpus == 1 else "Figure 8"
     title = (
         f"impact of on-chip L2 — "
         f"{'uniprocessor' if ncpus == 1 else f'{ncpus} processors'}"
     )
     figure = run_configs(fig_id, title, _configs(ncpus, settings.scale),
-                         trace, check=settings.check)
+                         trace_spec(ncpus, settings), check=settings.check)
     _annotate(figure, ncpus)
     return figure
 

@@ -13,11 +13,9 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.machine import MachineConfig
-from repro.core.system import simulate
-from repro.experiments.common import Figure, Settings, get_trace
+from repro.experiments.common import Figure, Settings, run_configs, trace_spec
 from repro.experiments.integration import IntegrationStudy
 from repro.experiments.integration import run as run_integration
-from repro.experiments.common import run_configs
 
 
 def _ladder(ncpus: int, scale: int):
@@ -87,15 +85,13 @@ def run(settings: Optional[Settings] = None) -> OooStudy:
     scale = settings.scale
     inorder = run_integration(settings)
 
-    uni_trace = get_trace(1, settings)
     uni = run_configs(
         "Figure 13 (uni)", "integration with OOO — uniprocessor",
-        _ladder(1, scale), uni_trace, check=settings.check,
+        _ladder(1, scale), trace_spec(1, settings), check=settings.check,
     )
-    mp_trace = get_trace(8, settings)
     mp = run_configs(
         "Figure 13 (MP)", "integration with OOO — 8 processors",
-        _ladder(8, scale), mp_trace, check=settings.check,
+        _ladder(8, scale), trace_spec(8, settings), check=settings.check,
     )
     uni_gain = (
         inorder.uni.row("Base").result.exec_time / uni.row("Base OOO").result.exec_time

@@ -15,9 +15,9 @@ from typing import Optional
 
 from repro.core.machine import MachineConfig
 from repro.core.results import RunResult
-from repro.core.system import simulate
-from repro.experiments.common import Figure, Settings, get_trace, run_configs
+from repro.experiments.common import Figure, Settings, run_configs, trace_spec
 from repro.params import MB
+from repro.runner import SimJob, run_simulations
 
 RAC_SIZE = 8 * MB
 NCPUS = 8
@@ -89,18 +89,23 @@ class RacMissStudy:
 def run_miss_study(settings: Optional[Settings] = None) -> RacMissStudy:
     """Figure 11."""
     settings = settings or Settings.paper()
-    trace = get_trace(NCPUS, settings)
+    spec = trace_spec(NCPUS, settings)
     scale = settings.scale
     check = settings.check
+    machines = [
+        _machine(scale, 1 * MB, 4, False, False),
+        _machine(scale, 1 * MB, 4, True, False),
+        _machine(scale, 1 * MB, 4, False, True),
+        _machine(scale, 1 * MB, 4, True, True),
+    ]
+    results = run_simulations(
+        [SimJob(spec=spec, machine=m, check=check) for m in machines]
+    )
     return RacMissStudy(
-        no_rac_no_repl=simulate(_machine(scale, 1 * MB, 4, False, False), trace,
-                                check=check),
-        rac_no_repl=simulate(_machine(scale, 1 * MB, 4, True, False), trace,
-                             check=check),
-        no_rac_repl=simulate(_machine(scale, 1 * MB, 4, False, True), trace,
-                             check=check),
-        rac_repl=simulate(_machine(scale, 1 * MB, 4, True, True), trace,
-                          check=check),
+        no_rac_no_repl=results[0],
+        rac_no_repl=results[1],
+        no_rac_repl=results[2],
+        rac_repl=results[3],
     )
 
 
@@ -112,7 +117,7 @@ def run_perf_study(settings: Optional[Settings] = None) -> Figure:
     of the RAC's on-chip tags.
     """
     settings = settings or Settings.paper()
-    trace = get_trace(NCPUS, settings)
+    spec = trace_spec(NCPUS, settings)
     scale = settings.scale
     configs = [
         ("1M4w NoRAC", _machine(scale, 1 * MB, 4, False, True)),
@@ -123,7 +128,7 @@ def run_perf_study(settings: Optional[Settings] = None) -> Figure:
     ]
     figure = run_configs(
         "Figure 12", "RAC performance with different L2 sizes — 8 CPUs",
-        configs, trace, check=settings.check,
+        configs, spec, check=settings.check,
     )
     rac_gain = 1 - figure.row("1M4w RAC").time_norm / 100.0
     figure.notes.append(

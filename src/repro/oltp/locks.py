@@ -14,6 +14,7 @@ modelled as named slots whose acquisition is a traced read-modify-write.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -66,7 +67,12 @@ class LockManager:
     _held: Dict[Tuple[str, int], Tuple[int, str]] = field(default_factory=dict)
 
     def _slot_of(self, resource: Tuple[str, int]) -> int:
-        return (hash(resource) * 2654435761) % self.num_lock_slots
+        # crc32 rather than hash(): str hashing is PYTHONHASHSEED-
+        # randomized, which would make traced lock addresses (and hence
+        # whole workload traces) differ between processes.
+        kind, resource_id = resource
+        h = zlib.crc32(kind.encode()) ^ (resource_id * 0x9E3779B1)
+        return (h * 2654435761) % self.num_lock_slots
 
     def latch(self, name: str) -> None:
         """Acquire-and-release a named latch (traced read-modify-write)."""

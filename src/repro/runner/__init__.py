@@ -1,0 +1,51 @@
+"""Campaign orchestration: parallel experiment runs over a result cache.
+
+The runner decomposes every figure into independent, content-addressed
+``(trace, machine, check)`` simulation jobs and executes them through a
+cache-first multiprocess executor:
+
+* :mod:`repro.runner.tracestore` — bounded trace cache + archive spill
+* :mod:`repro.runner.jobs` — the job model and its content hash
+* :mod:`repro.runner.cache` — the on-disk JSON result cache
+* :mod:`repro.runner.executor` — the worker pool and driver-facing API
+* :mod:`repro.runner.telemetry` — per-job timing, cache accounting, ETA
+
+See the README's "Campaign runner" section and ``repro-oltp campaign``.
+"""
+
+from repro.runner.cache import CACHE_FORMAT_VERSION, CacheStats, ResultCache
+from repro.runner.executor import (
+    CampaignRunner,
+    JobFailed,
+    active_runner,
+    run_simulations,
+    simulate_spec,
+    use_runner,
+)
+from repro.runner.jobs import CODE_VERSION, SimJob, canonical_json
+from repro.runner.telemetry import CampaignTelemetry, JobRecord
+from repro.runner.tracestore import (
+    TraceSpec,
+    TraceStore,
+    default_trace_store,
+)
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CODE_VERSION",
+    "CacheStats",
+    "CampaignRunner",
+    "CampaignTelemetry",
+    "JobFailed",
+    "JobRecord",
+    "ResultCache",
+    "SimJob",
+    "TraceSpec",
+    "TraceStore",
+    "active_runner",
+    "canonical_json",
+    "default_trace_store",
+    "run_simulations",
+    "simulate_spec",
+    "use_runner",
+]

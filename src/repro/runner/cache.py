@@ -1,0 +1,120 @@
+"""On-disk result cache: JSON ``RunResult`` entries keyed by job hash.
+
+Each entry is one file, ``<job-hash>.json``, holding the cache format
+version, the job hash it answers for, and the serialized result guarded
+by a CRC-32 over its canonical JSON encoding — the same
+version-plus-checksum convention the trace archives use
+(:mod:`repro.trace.storage`).
+
+Loading is **fail-soft by design**: any unreadable, corrupt, truncated,
+stale-format, or wrong-hash entry makes :meth:`ResultCache.load` return
+``None`` (and counts it in :class:`CacheStats`), so the runner simply
+re-simulates the point and overwrites the bad entry.  A damaged cache
+can cost wall-clock time, never correctness — and never an exception.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.results import RunResult
+from repro.runner.jobs import SimJob, canonical_json
+
+#: Entry format version; bump on any layout change.
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Outcome counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    #: Entries rejected as unreadable / checksum-failed / stale-format;
+    #: every rejection is also counted as a miss.
+    rejected: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Content-addressed store of simulation results under ``root``."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.stats = CacheStats()
+
+    def path_for(self, job: SimJob) -> str:
+        return os.path.join(self.root, f"{job.content_hash()}.json")
+
+    # -- read ------------------------------------------------------------------
+
+    def load(self, job: SimJob) -> Optional[RunResult]:
+        """The cached result for ``job``, or ``None`` on any miss.
+
+        Never raises for a bad entry: deserialization problems of every
+        kind are demoted to a miss so the caller re-simulates.
+        """
+        result = self._load_checked(job)
+        if result is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return result
+
+    def _load_checked(self, job: SimJob) -> Optional[RunResult]:
+        path = self.path_for(job)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, UnicodeDecodeError):
+            self.stats.rejected += 1
+            return None
+        try:
+            if entry.get("format") != CACHE_FORMAT_VERSION:
+                raise ValueError("stale cache format")
+            if entry.get("job") != job.content_hash():
+                raise ValueError("job hash mismatch")
+            payload = entry["result"]
+            crc = zlib.crc32(canonical_json(payload).encode())
+            if entry.get("crc32") != crc:
+                raise ValueError("checksum mismatch")
+            return RunResult.from_dict(payload)
+        except Exception:
+            # Anything wrong with the entry — taxonomy above plus
+            # missing keys, type errors, ConfigError from a tampered
+            # machine payload — means "not cached".
+            self.stats.rejected += 1
+            return None
+
+    # -- write -----------------------------------------------------------------
+
+    def store(self, job: SimJob, result: RunResult) -> str:
+        """Persist ``result`` for ``job`` atomically; return the path."""
+        os.makedirs(self.root, exist_ok=True)
+        payload = result.to_dict()
+        entry = {
+            "format": CACHE_FORMAT_VERSION,
+            "job": job.content_hash(),
+            "label": job.label,
+            "crc32": zlib.crc32(canonical_json(payload).encode()),
+            "result": payload,
+        }
+        path = self.path_for(job)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True)
+        os.replace(tmp, path)
+        return path

@@ -1,0 +1,263 @@
+"""The campaign executor: cache-first, multiprocess, order-preserving.
+
+:class:`CampaignRunner` turns a list of :class:`~repro.runner.jobs.SimJob`
+into a list of :class:`~repro.core.results.RunResult` with three
+guarantees:
+
+* **Determinism** — results come back in job order regardless of
+  worker completion order, and a result that travelled through a
+  worker (or the cache) is value-identical to one simulated inline:
+  the JSON round trip is exact, so parallel output is bit-identical
+  to serial.
+* **Cache first** — with a :class:`~repro.runner.cache.ResultCache`
+  attached, unchanged points are never re-simulated; corrupt entries
+  silently demote to misses.
+* **Trace sharing** — before forking, every distinct
+  :class:`~repro.runner.tracestore.TraceSpec` is spilled to the trace
+  archive once; workers reload it through the same
+  :class:`~repro.runner.tracestore.TraceStore` code path the drivers
+  use, instead of pickling multi-megabyte traces per job.
+
+The experiment drivers do not talk to a runner directly: they call
+:func:`run_simulations`, which routes through the runner installed by
+:func:`use_runner` (the ``campaign`` CLI verb) or falls back to inline
+serial simulation — the historical behaviour — when none is active.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import IO, Dict, List, Optional, Sequence
+
+from repro.core.results import RunResult
+from repro.core.system import simulate
+from repro.runner.cache import ResultCache
+from repro.runner.jobs import SimJob
+from repro.runner.telemetry import (
+    SOURCE_CACHE,
+    SOURCE_SIMULATED,
+    CampaignTelemetry,
+    NullProgress,
+    ProgressPrinter,
+)
+from repro.runner.tracestore import (
+    DEFAULT_CAPACITY,
+    TraceStore,
+    default_trace_store,
+)
+
+
+class JobFailed(RuntimeError):
+    """A worker-side simulation failure, flattened to a picklable string.
+
+    Raised in place of the original error because several
+    :mod:`repro.integrity` exception types carry structured payloads
+    that do not survive the pickle round trip out of a worker process.
+    """
+
+
+# -- worker-process entry points (module level: must be picklable) -------------
+
+def _worker_init(spill_dir: Optional[str], capacity: int) -> None:
+    """Configure the worker's process-wide trace store at pool start."""
+    store = default_trace_store()
+    store.spill_dir = spill_dir
+    store.capacity = max(capacity, store.capacity)
+
+
+def _worker_run(job: SimJob):
+    """Simulate one job; return ``(seconds, result_dict)``.
+
+    Results cross the process boundary as :meth:`RunResult.to_dict`
+    payloads — the exact representation the cache stores — so the
+    parent reconstructs identical values either way.
+    """
+    from repro.integrity.errors import ReproError
+
+    trace = default_trace_store().get(job.spec)
+    start = time.perf_counter()
+    try:
+        result = simulate(job.machine, trace, check=job.check)
+    except ReproError as exc:
+        raise JobFailed(f"{job.label}: {type(exc).__name__}: {exc}") from None
+    return time.perf_counter() - start, result.to_dict()
+
+
+class CampaignRunner:
+    """Executes job batches against a worker pool and a result cache.
+
+    ``jobs`` is the worker count (1 = in-process serial, still
+    cache-aware).  ``cache`` is optional; without it every job
+    simulates.  ``trace_store`` defaults to the process-wide store.
+    ``progress`` streams per-job lines to ``stream`` (stderr).
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
+                 trace_store: Optional[TraceStore] = None,
+                 progress: bool = False, stream: Optional[IO[str]] = None):
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.trace_store = trace_store or default_trace_store()
+        self.telemetry = CampaignTelemetry(workers=self.jobs)
+        self._progress = (
+            ProgressPrinter(self.telemetry, stream) if progress
+            else NullProgress()
+        )
+        self._batch = ""
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def begin_batch(self, name: str) -> None:
+        """Tag subsequent jobs with ``name`` (normally a figure id)."""
+        self._batch = name
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_worker_init,
+                initargs=(self.trace_store.spill_dir,
+                          max(DEFAULT_CAPACITY, self.trace_store.capacity)),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution -------------------------------------------------------------
+
+    def run_jobs(self, jobs: Sequence[SimJob]) -> List[RunResult]:
+        """Run every job; results are returned in submission order."""
+        jobs = list(jobs)
+        self._progress.start_batch(self._batch, len(jobs))
+        results: List[Optional[RunResult]] = [None] * len(jobs)
+
+        # Cache pass: serve every already-known point.
+        pending: List[int] = []
+        for i, job in enumerate(jobs):
+            cached = self.cache.load(job) if self.cache is not None else None
+            if cached is not None:
+                results[i] = cached
+                self._record(job, 0.0, SOURCE_CACHE)
+            else:
+                pending.append(i)
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                self._run_parallel(jobs, pending, results)
+            else:
+                self._run_serial(jobs, pending, results)
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _record(self, job: SimJob, seconds: float, source: str) -> None:
+        rec = self.telemetry.record(
+            job.label, self._batch, job.content_hash(), seconds, source
+        )
+        self._progress.job_done(rec)
+
+    def _store(self, job: SimJob, result: RunResult) -> None:
+        if self.cache is not None:
+            self.cache.store(job, result)
+
+    def _run_serial(self, jobs: Sequence[SimJob], pending: List[int],
+                    results: List[Optional[RunResult]]) -> None:
+        for i in pending:
+            job = jobs[i]
+            trace = self.trace_store.get(job.spec)
+            start = time.perf_counter()
+            result = simulate(job.machine, trace, check=job.check)
+            seconds = time.perf_counter() - start
+            results[i] = result
+            self._store(job, result)
+            self._record(job, seconds, SOURCE_SIMULATED)
+
+    def _run_parallel(self, jobs: Sequence[SimJob], pending: List[int],
+                      results: List[Optional[RunResult]]) -> None:
+        # Materialize each distinct workload into the shared archive
+        # once, so no worker pays for trace generation.
+        if self.trace_store.spill_dir:
+            for spec in {jobs[i].spec for i in pending}:
+                self.trace_store.ensure_archived(spec)
+        pool = self._ensure_pool()
+
+        # Duplicate jobs (the same point appearing twice in a batch)
+        # simulate once and fan out by hash.
+        futures: Dict[str, "object"] = {}
+        order = []
+        for i in pending:
+            key = jobs[i].content_hash()
+            if key not in futures:
+                futures[key] = pool.submit(_worker_run, jobs[i])
+            order.append((i, key))
+        # Collect in submission order: deterministic output, whatever
+        # order the workers finish in.
+        done: Dict[str, RunResult] = {}
+        for i, key in order:
+            job = jobs[i]
+            if key not in done:
+                seconds, payload = futures[key].result()
+                result = RunResult.from_dict(payload)
+                done[key] = result
+                self._store(job, result)
+                self._record(job, seconds, SOURCE_SIMULATED)
+            else:
+                self._record(job, 0.0, SOURCE_CACHE)
+            results[i] = done[key]
+
+
+# -- the active runner (driver-facing indirection) -----------------------------
+
+_ACTIVE: Optional[CampaignRunner] = None
+
+
+def active_runner() -> Optional[CampaignRunner]:
+    """The runner installed by :func:`use_runner`, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def use_runner(runner: CampaignRunner):
+    """Route :func:`run_simulations` through ``runner`` for the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = runner
+    try:
+        yield runner
+    finally:
+        _ACTIVE = previous
+
+
+def run_simulations(jobs: Sequence[SimJob]) -> List[RunResult]:
+    """Run a batch of jobs through the active runner.
+
+    With no active runner this is the historical serial path: each
+    trace materializes through the process-wide store and simulates
+    inline, with no caching and no extra processes.
+    """
+    runner = _ACTIVE
+    if runner is not None:
+        return runner.run_jobs(jobs)
+    store = default_trace_store()
+    return [
+        simulate(job.machine, store.get(job.spec), check=job.check)
+        for job in jobs
+    ]
+
+
+def simulate_spec(job: SimJob) -> RunResult:
+    """Convenience wrapper: one job through the active runner."""
+    return run_simulations([job])[0]

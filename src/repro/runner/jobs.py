@@ -1,0 +1,76 @@
+"""The campaign job model: one simulation point, content-addressed.
+
+Every bar of every figure is the simulation of one
+``(TraceSpec, MachineConfig, check-level)`` triple.  A :class:`SimJob`
+captures that triple and derives a **content hash** over its canonical
+JSON payload plus two version numbers:
+
+* :data:`CODE_VERSION` — bump whenever simulator semantics change in a
+  way that alters results, invalidating every cached result at once;
+* :data:`~repro.trace.storage.FORMAT_VERSION` — the trace archive
+  format, so regenerated workloads invalidate their dependent results.
+
+The hash is the job's identity everywhere: result-cache filenames,
+telemetry records, and cross-process deduplication.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.core.machine import MachineConfig
+from repro.runner.tracestore import TraceSpec
+from repro.trace.storage import FORMAT_VERSION
+
+#: Simulation-semantics version baked into every job hash.  Bump on any
+#: change that makes previously cached results wrong (latency tables,
+#: protocol behaviour, replay-loop fixes, ...).
+CODE_VERSION = 1
+
+#: Integrity-check tiers a job may request (mirrors
+#: :class:`~repro.integrity.checker.CheckLevel` spellings).
+CHECK_LEVELS = ("off", "end-of-run", "per-quantum")
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON encoding used for hashing and checksums."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One independent simulation: a machine replaying a workload."""
+
+    spec: TraceSpec
+    machine: MachineConfig
+    check: str = "off"
+
+    def __post_init__(self):
+        if self.check not in CHECK_LEVELS:
+            raise ValueError(
+                f"unknown check level {self.check!r}; expected one of "
+                f"{CHECK_LEVELS}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Display name (the machine's paper-style label)."""
+        return self.machine.label
+
+    def payload(self) -> dict:
+        """Everything that determines this job's result, canonically."""
+        return {
+            "code_version": CODE_VERSION,
+            "trace_format": FORMAT_VERSION,
+            "trace": self.spec.to_dict(),
+            "machine": self.machine.to_dict(),
+            "check": self.check,
+        }
+
+    def content_hash(self) -> str:
+        """Stable hex digest identifying this job's result."""
+        return hashlib.sha256(
+            canonical_json(self.payload()).encode()
+        ).hexdigest()

@@ -1,0 +1,191 @@
+"""Campaign telemetry: per-job timing, cache accounting, progress/ETA.
+
+The runner records one :class:`JobRecord` per job (wall-clock seconds,
+whether the result came from the cache or a simulation, which batch —
+usually a figure — it belonged to).  :class:`CampaignTelemetry`
+aggregates them into the per-figure table and the one-line
+machine-greppable summary the CLI prints::
+
+    campaign summary: jobs=42 simulated=0 cache_hits=42 hit_rate=100% workers=4 wall=1.3s
+
+CI greps ``simulated=0`` on a warm cache; the benchmark harness dumps
+:meth:`CampaignTelemetry.to_dict` into ``BENCH_campaign.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import IO, List, Optional
+
+SOURCE_CACHE = "cache"
+SOURCE_SIMULATED = "simulated"
+
+
+@dataclass
+class JobRecord:
+    """One completed job: identity, provenance, and cost."""
+
+    label: str
+    batch: str
+    job_hash: str
+    seconds: float
+    source: str  # SOURCE_CACHE or SOURCE_SIMULATED
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "batch": self.batch,
+            "job_hash": self.job_hash,
+            "seconds": round(self.seconds, 6),
+            "source": self.source,
+        }
+
+
+@dataclass
+class BatchRecord:
+    """One named batch (normally a figure): its jobs' wall-clock."""
+
+    name: str
+    seconds: float = 0.0
+
+
+@dataclass
+class CampaignTelemetry:
+    """Aggregated accounting for one campaign run."""
+
+    workers: int = 1
+    records: List[JobRecord] = field(default_factory=list)
+    batches: List[BatchRecord] = field(default_factory=list)
+    started_at: float = field(default_factory=time.perf_counter)
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, label: str, batch: str, job_hash: str, seconds: float,
+               source: str) -> JobRecord:
+        rec = JobRecord(label, batch, job_hash, seconds, source)
+        self.records.append(rec)
+        return rec
+
+    def end_batch(self, name: str, seconds: float) -> None:
+        self.batches.append(BatchRecord(name, seconds))
+
+    # -- aggregates ------------------------------------------------------------
+
+    @property
+    def total_jobs(self) -> int:
+        return len(self.records)
+
+    @property
+    def simulated(self) -> int:
+        return sum(1 for r in self.records if r.source == SOURCE_SIMULATED)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.source == SOURCE_CACHE)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.total_jobs if self.total_jobs else 0.0
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Summed worker-side simulation time (> wall when parallel)."""
+        return sum(r.seconds for r in self.records
+                   if r.source == SOURCE_SIMULATED)
+
+    @property
+    def wall_seconds(self) -> float:
+        return time.perf_counter() - self.started_at
+
+    def mean_sim_seconds(self) -> float:
+        n = self.simulated
+        return self.simulated_seconds / n if n else 0.0
+
+    # -- rendering -------------------------------------------------------------
+
+    def summary_line(self) -> str:
+        return (
+            f"campaign summary: jobs={self.total_jobs} "
+            f"simulated={self.simulated} cache_hits={self.cache_hits} "
+            f"hit_rate={100 * self.hit_rate:.0f}% workers={self.workers} "
+            f"wall={self.wall_seconds:.1f}s"
+        )
+
+    def render(self) -> str:
+        """Per-batch table plus the summary line."""
+        lines = [
+            "campaign telemetry",
+            f"  {'batch':12s} {'jobs':>5s} {'sim':>5s} {'cache':>6s} {'wall':>8s}",
+        ]
+        for batch in self.batches:
+            recs = [r for r in self.records if r.batch == batch.name]
+            sim = sum(1 for r in recs if r.source == SOURCE_SIMULATED)
+            lines.append(
+                f"  {batch.name:12s} {len(recs):5d} {sim:5d} "
+                f"{len(recs) - sim:6d} {batch.seconds:7.1f}s"
+            )
+        lines.append(self.summary_line())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "jobs": self.total_jobs,
+            "simulated": self.simulated,
+            "cache_hits": self.cache_hits,
+            "hit_rate": round(self.hit_rate, 4),
+            "simulated_seconds": round(self.simulated_seconds, 3),
+            "wall_seconds": round(self.wall_seconds, 3),
+            "batches": [
+                {"name": b.name, "seconds": round(b.seconds, 3)}
+                for b in self.batches
+            ],
+            "records": [r.to_dict() for r in self.records],
+        }
+
+
+class ProgressPrinter:
+    """Streams one line per finished job, with a running ETA.
+
+    The ETA extrapolates the mean simulated-job cost over the jobs
+    still outstanding in the current batch, divided by the worker
+    count — coarse, but monotone enough to be useful.
+    """
+
+    def __init__(self, telemetry: CampaignTelemetry,
+                 stream: Optional[IO[str]] = None):
+        self.telemetry = telemetry
+        self.stream = stream if stream is not None else sys.stderr
+        self._batch = ""
+        self._total = 0
+        self._done = 0
+
+    def start_batch(self, name: str, total_jobs: int) -> None:
+        self._batch = name
+        self._total = total_jobs
+        self._done = 0
+
+    def job_done(self, record: JobRecord) -> None:
+        self._done += 1
+        remaining = max(0, self._total - self._done)
+        eta = (remaining * self.telemetry.mean_sim_seconds()
+               / max(1, self.telemetry.workers))
+        suffix = f" | eta {eta:.1f}s" if remaining and eta else ""
+        print(
+            f"  [{self._batch} {self._done}/{self._total}] "
+            f"{record.label}: {record.seconds:.2f}s ({record.source})"
+            f"{suffix}",
+            file=self.stream,
+        )
+
+
+class NullProgress:
+    """Progress sink that discards everything (quiet mode, tests)."""
+
+    def start_batch(self, name: str, total_jobs: int) -> None:
+        pass
+
+    def job_done(self, record: JobRecord) -> None:
+        pass

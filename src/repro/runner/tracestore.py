@@ -1,0 +1,216 @@
+"""Trace materialization: a bounded in-memory cache over on-disk archives.
+
+Every simulation job names its workload by a :class:`TraceSpec` — the
+exact arguments of :func:`repro.trace.generator.build_trace` — instead
+of carrying the multi-megabyte trace object itself.  A
+:class:`TraceStore` turns specs into traces through a single code path
+shared by the experiment drivers, the campaign runner's worker
+processes, and the tests:
+
+1. a bounded LRU of in-memory :class:`~repro.trace.generator.OltpTrace`
+   objects (the successor of the old unbounded module cache in
+   ``repro.experiments.common``),
+2. an optional spill directory of versioned, checksummed ``.npz``
+   archives (:mod:`repro.trace.storage`), so a trace generated once —
+   by any process — is never rebuilt, and
+3. :func:`~repro.trace.generator.build_trace` as the miss path.
+
+Archives that fail their checksum or carry an unreadable format are
+silently rebuilt; corruption can cost time, never correctness.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.trace.generator import OltpTrace, build_trace
+from repro.trace.storage import FORMAT_VERSION, load_trace, save_trace_atomic
+
+#: Default number of in-memory traces a store keeps (a full campaign
+#: alternates between the uniprocessor and 8-CPU workloads, plus a few
+#: ablation-specific ones).
+DEFAULT_CAPACITY = 6
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """The generator arguments that determine one workload trace.
+
+    ``build_trace`` is deterministic in these fields, so a spec is both
+    a cache key and a recipe: any process holding the spec can
+    materialize the identical trace.  ``warmup_txns=None`` selects the
+    generator's steady-state default.
+    """
+
+    ncpus: int
+    scale: int
+    txns: int
+    seed: int
+    warmup_txns: Optional[int] = None
+
+    @property
+    def key(self) -> str:
+        """Stable human-readable identity, used in archive filenames."""
+        base = f"n{self.ncpus}_s{self.scale}_t{self.txns}_seed{self.seed}"
+        if self.warmup_txns is not None:
+            base += f"_w{self.warmup_txns}"
+        return base
+
+    @property
+    def archive_name(self) -> str:
+        """Spill filename; includes the archive format version so a
+        format bump naturally invalidates old spills."""
+        return f"trace_{self.key}_fmt{FORMAT_VERSION}.npz"
+
+    def to_dict(self) -> dict:
+        return {
+            "ncpus": self.ncpus,
+            "scale": self.scale,
+            "txns": self.txns,
+            "seed": self.seed,
+            "warmup_txns": self.warmup_txns,
+        }
+
+    def build(self) -> OltpTrace:
+        """Run the OLTP engine and generate this trace from scratch."""
+        return build_trace(
+            ncpus=self.ncpus,
+            scale=self.scale,
+            txns=self.txns,
+            warmup_txns=self.warmup_txns,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class TraceStoreStats:
+    """Where the store's traces came from (telemetry, tests)."""
+
+    memory_hits: int = 0
+    archive_loads: int = 0
+    builds: int = 0
+
+    def reset(self) -> None:
+        self.memory_hits = 0
+        self.archive_loads = 0
+        self.builds = 0
+
+
+class TraceStore:
+    """Bounded LRU trace cache with optional archive spill.
+
+    ``capacity`` bounds the number of in-memory traces; the least
+    recently used trace is dropped first (it remains reloadable from
+    its archive when a spill directory is configured).  ``spill_dir``
+    is created lazily on first write.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 spill_dir: Optional[str] = None):
+        if capacity < 1:
+            raise ValueError("TraceStore capacity must be at least 1")
+        self.capacity = capacity
+        self.spill_dir = spill_dir
+        self.stats = TraceStoreStats()
+        self._lru: "OrderedDict[TraceSpec, OltpTrace]" = OrderedDict()
+
+    # -- internals -------------------------------------------------------------
+
+    def _archive_path(self, spec: TraceSpec) -> Optional[str]:
+        if not self.spill_dir:
+            return None
+        return os.path.join(self.spill_dir, spec.archive_name)
+
+    def _spill(self, spec: TraceSpec, trace: OltpTrace) -> Optional[str]:
+        path = self._archive_path(spec)
+        if path is None:
+            return None
+        os.makedirs(self.spill_dir, exist_ok=True)
+        save_trace_atomic(trace, path)
+        return path
+
+    def _load_archived(self, spec: TraceSpec) -> Optional[OltpTrace]:
+        path = self._archive_path(spec)
+        if path is None or not os.path.exists(path):
+            return None
+        from repro.integrity.errors import TraceFormatError
+
+        try:
+            return load_trace(path)
+        except (TraceFormatError, OSError):
+            # Corrupt or stale spill: drop it and fall through to a
+            # rebuild.  Never let a bad cache file fail a run.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+
+    def _remember(self, spec: TraceSpec, trace: OltpTrace) -> None:
+        self._lru[spec] = trace
+        self._lru.move_to_end(spec)
+        while len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+
+    # -- public API ------------------------------------------------------------
+
+    def get(self, spec: TraceSpec) -> OltpTrace:
+        """Materialize the trace for ``spec`` (memory, archive, or build)."""
+        trace = self._lru.get(spec)
+        if trace is not None:
+            self._lru.move_to_end(spec)
+            self.stats.memory_hits += 1
+            return trace
+        trace = self._load_archived(spec)
+        if trace is not None:
+            self.stats.archive_loads += 1
+        else:
+            trace = spec.build()
+            self.stats.builds += 1
+            if self.spill_dir:
+                self._spill(spec, trace)
+        self._remember(spec, trace)
+        return trace
+
+    def ensure_archived(self, spec: TraceSpec) -> str:
+        """Guarantee an on-disk archive for ``spec``; return its path.
+
+        Used by the campaign runner before forking workers, so every
+        worker loads the shared archive instead of re-running the
+        workload generator.  Requires a configured ``spill_dir``.
+        """
+        if not self.spill_dir:
+            raise ValueError("ensure_archived requires a spill_dir")
+        path = self._archive_path(spec)
+        assert path is not None
+        if not os.path.exists(path):
+            trace = self._lru.get(spec)
+            if trace is None:
+                trace = self.get(spec)  # builds and spills
+            else:
+                self._spill(spec, trace)
+        return path
+
+    def clear(self) -> None:
+        """Drop every in-memory trace (archives are kept)."""
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, spec: TraceSpec) -> bool:
+        return spec in self._lru
+
+
+#: Process-wide default store.  The experiment drivers' ``get_trace``
+#: resolves through it; campaign worker processes configure its spill
+#: directory at pool start so both sides share one code path.
+_DEFAULT_STORE = TraceStore()
+
+
+def default_trace_store() -> TraceStore:
+    """The process-wide :class:`TraceStore`."""
+    return _DEFAULT_STORE

@@ -18,6 +18,7 @@ load.
 from __future__ import annotations
 
 import json
+import os
 import zipfile
 import zlib
 from array import array
@@ -82,6 +83,26 @@ def save_trace(trace: OltpTrace, path: Union[str, "object"]) -> None:
         refs=refs,
         text_pages=text_pages,
     )
+
+
+def save_trace_atomic(trace: OltpTrace, path: str) -> None:
+    """Write ``trace`` to ``path`` with no torn-write window.
+
+    Several campaign processes may race to spill the same trace; each
+    writes a private temporary archive and atomically renames it into
+    place, so readers only ever observe a complete archive (the last
+    writer wins with identical bytes-equivalent content).
+    """
+    tmp = f"{path}.tmp.{os.getpid()}.npz"
+    try:
+        save_trace(trace, tmp)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
 
 def load_trace(path: Union[str, "object"]) -> OltpTrace:

@@ -1,0 +1,124 @@
+"""Exact dict/JSON round trips for MachineConfig and RunResult.
+
+The campaign result cache and the worker-pool boundary both move
+results as ``to_dict()`` payloads, so the round trip must be *exact*:
+every field — floats included — reconstructs value-identical, which is
+what makes parallel and cached campaign output bit-identical to
+serial simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.core.machine import MachineConfig
+from repro.core.results import RunResult
+from repro.core.system import simulate
+from repro.params import MB
+
+SCALE = 128
+
+MACHINES = [
+    MachineConfig.conservative_base(1, scale=SCALE),
+    MachineConfig.base(1, scale=SCALE),
+    MachineConfig.integrated_l2(1, scale=SCALE),
+    MachineConfig.integrated_l2_mc(1, scale=SCALE, cpu_model="ooo"),
+    MachineConfig.base(8, scale=SCALE),
+    MachineConfig.fully_integrated(8, scale=SCALE),
+    MachineConfig.fully_integrated(
+        8, l2_size=1 * MB, l2_assoc=4, rac_size=8 * MB,
+        replicate_code=True, scale=SCALE,
+    ),
+    MachineConfig.fully_integrated(
+        8, l2_assoc=1, victim_entries=16, scale=SCALE
+    ),
+    MachineConfig.chip_multiprocessor(4, cores_per_node=2, scale=SCALE),
+]
+
+
+class TestMachineConfigRoundTrip:
+    @pytest.mark.parametrize(
+        "machine", MACHINES, ids=lambda m: m.label.replace(" ", "_")
+    )
+    def test_dict_round_trip(self, machine):
+        assert MachineConfig.from_dict(machine.to_dict()) == machine
+
+    @pytest.mark.parametrize(
+        "machine", MACHINES, ids=lambda m: m.label.replace(" ", "_")
+    )
+    def test_json_round_trip(self, machine):
+        wire = json.loads(json.dumps(machine.to_dict()))
+        assert MachineConfig.from_dict(wire) == machine
+
+    def test_latency_override_round_trips(self):
+        base = MachineConfig.fully_integrated(8, scale=SCALE)
+        bumped = base.with_(
+            latency_override=replace(base.latencies, remote_dirty=997)
+        )
+        clone = MachineConfig.from_dict(bumped.to_dict())
+        assert clone == bumped
+        assert clone.latencies.remote_dirty == 997
+
+    def test_tlb_entries_round_trip(self):
+        machine = MachineConfig.fully_integrated(8, scale=SCALE).with_(
+            tlb_entries=128
+        )
+        assert MachineConfig.from_dict(machine.to_dict()) == machine
+
+    def test_from_dict_validates(self):
+        from repro.integrity.errors import ConfigError
+
+        payload = MachineConfig.base(1, scale=SCALE).to_dict()
+        payload["l2_assoc"] = -3
+        with pytest.raises(ConfigError):
+            MachineConfig.from_dict(payload)
+
+
+@pytest.fixture(scope="module")
+def uni_result(uni_trace):
+    return simulate(MachineConfig.integrated_l2(1, scale=SCALE), uni_trace)
+
+
+@pytest.fixture(scope="module")
+def mp_result(mp8_trace):
+    # RAC + replication + victim entries so the optional stat blocks
+    # (rac, protocol, network) are all populated.
+    machine = MachineConfig.fully_integrated(
+        8, l2_size=1 * MB, l2_assoc=4, rac_size=8 * MB,
+        replicate_code=True, scale=SCALE,
+    )
+    return simulate(machine, mp8_trace)
+
+
+class TestRunResultRoundTrip:
+    def test_uni_dict_round_trip_is_exact(self, uni_result):
+        clone = RunResult.from_dict(uni_result.to_dict())
+        assert clone.to_dict() == uni_result.to_dict()
+        assert clone.exec_time == uni_result.exec_time
+        assert clone.cycles_per_txn == uni_result.cycles_per_txn
+        assert clone.machine == uni_result.machine
+
+    def test_mp_dict_round_trip_is_exact(self, mp_result):
+        clone = RunResult.from_dict(mp_result.to_dict())
+        assert clone.to_dict() == mp_result.to_dict()
+        assert clone.misses == mp_result.misses
+        assert clone.rac == mp_result.rac
+        assert clone.protocol == mp_result.protocol
+        assert clone.network == mp_result.network
+
+    def test_json_round_trip_preserves_floats(self, mp_result):
+        # JSON text is the real wire/cache format, so go through it.
+        wire = json.loads(json.dumps(mp_result.to_dict()))
+        clone = RunResult.from_dict(wire)
+        assert clone.exec_time == mp_result.exec_time
+        assert clone.breakdown == mp_result.breakdown
+        assert clone.per_cpu == mp_result.per_cpu
+        assert clone.to_dict() == mp_result.to_dict()
+
+    def test_derived_metrics_match(self, mp_result):
+        clone = RunResult.from_dict(mp_result.to_dict())
+        assert clone.misses.dirty_share == mp_result.misses.dirty_share
+        assert clone.rac.hit_rate == mp_result.rac.hit_rate

@@ -1,0 +1,146 @@
+"""The on-disk result cache: exact round trips, fail-soft rejection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.machine import MachineConfig
+from repro.core.system import simulate
+from repro.runner import ResultCache, SimJob, TraceSpec
+
+SCALE = 128
+
+
+@pytest.fixture(scope="module")
+def point():
+    """One simulated job plus its result, shared by the module."""
+    spec = TraceSpec(ncpus=1, scale=SCALE, txns=30, warmup_txns=10, seed=11)
+    machine = MachineConfig.integrated_l2(1, scale=SCALE)
+    job = SimJob(spec=spec, machine=machine)
+    result = simulate(machine, spec.build())
+    return job, result
+
+
+class TestRoundTrip:
+    def test_empty_cache_misses(self, tmp_path, point):
+        job, _ = point
+        cache = ResultCache(str(tmp_path))
+        assert cache.load(job) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_store_then_load_is_exact(self, tmp_path, point):
+        job, result = point
+        cache = ResultCache(str(tmp_path))
+        cache.store(job, result)
+        loaded = cache.load(job)
+        assert loaded is not None
+        assert loaded.to_dict() == result.to_dict()
+        assert loaded.exec_time == result.exec_time
+        assert loaded.machine == result.machine
+        assert cache.stats.hits == 1
+
+    def test_path_is_content_addressed(self, tmp_path, point):
+        job, result = point
+        cache = ResultCache(str(tmp_path))
+        path = cache.store(job, result)
+        assert path == cache.path_for(job)
+        assert job.content_hash() in path
+
+    def test_different_job_misses(self, tmp_path, point):
+        job, result = point
+        cache = ResultCache(str(tmp_path))
+        cache.store(job, result)
+        other = SimJob(spec=job.spec, machine=job.machine, check="end-of-run")
+        assert cache.load(other) is None
+
+
+class TestFailSoft:
+    """Every flavour of bad entry demotes to a miss; none ever raises."""
+
+    def _primed(self, tmp_path, point) -> ResultCache:
+        job, result = point
+        cache = ResultCache(str(tmp_path))
+        cache.store(job, result)
+        return cache
+
+    def _rewrite(self, cache, job, mutate) -> None:
+        path = cache.path_for(job)
+        with open(path, "r", encoding="utf-8") as fh:
+            entry = json.load(fh)
+        mutate(entry)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh)
+
+    def test_garbage_bytes(self, tmp_path, point):
+        job, _ = point
+        cache = self._primed(tmp_path, point)
+        with open(cache.path_for(job), "wb") as fh:
+            fh.write(b"\x00\xffnot json\xfe")
+        assert cache.load(job) is None
+        assert cache.stats.rejected == 1
+
+    def test_truncated_json(self, tmp_path, point):
+        job, _ = point
+        cache = self._primed(tmp_path, point)
+        path = cache.path_for(job)
+        text = open(path, encoding="utf-8").read()
+        open(path, "w", encoding="utf-8").write(text[: len(text) // 2])
+        assert cache.load(job) is None
+        assert cache.stats.rejected == 1
+
+    def test_stale_format_version(self, tmp_path, point):
+        job, _ = point
+        cache = self._primed(tmp_path, point)
+        self._rewrite(cache, job, lambda e: e.update(format=999))
+        assert cache.load(job) is None
+        assert cache.stats.rejected == 1
+
+    def test_wrong_job_hash(self, tmp_path, point):
+        job, _ = point
+        cache = self._primed(tmp_path, point)
+        self._rewrite(cache, job, lambda e: e.update(job="0" * 64))
+        assert cache.load(job) is None
+        assert cache.stats.rejected == 1
+
+    def test_tampered_payload_fails_checksum(self, tmp_path, point):
+        job, _ = point
+        cache = self._primed(tmp_path, point)
+
+        def tamper(entry):
+            entry["result"]["measured_txns"] += 1
+
+        self._rewrite(cache, job, tamper)
+        assert cache.load(job) is None
+        assert cache.stats.rejected == 1
+
+    def test_missing_result_key(self, tmp_path, point):
+        job, _ = point
+        cache = self._primed(tmp_path, point)
+        self._rewrite(cache, job, lambda e: e.pop("result"))
+        assert cache.load(job) is None
+        assert cache.stats.rejected == 1
+
+    def test_overwrite_heals_bad_entry(self, tmp_path, point):
+        job, result = point
+        cache = self._primed(tmp_path, point)
+        with open(cache.path_for(job), "wb") as fh:
+            fh.write(b"garbage")
+        assert cache.load(job) is None
+        cache.store(job, result)
+        healed = cache.load(job)
+        assert healed is not None
+        assert healed.to_dict() == result.to_dict()
+
+
+class TestStats:
+    def test_hit_rate(self, tmp_path, point):
+        job, result = point
+        cache = ResultCache(str(tmp_path))
+        cache.load(job)  # miss
+        cache.store(job, result)
+        cache.load(job)  # hit
+        assert cache.stats.lookups == 2
+        assert cache.stats.hit_rate == 0.5

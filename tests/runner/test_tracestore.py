@@ -1,0 +1,139 @@
+"""The bounded, spillable trace store that replaced the unbounded cache."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runner import TraceSpec, TraceStore, default_trace_store
+
+SCALE = 128
+
+
+def spec(txns: int = 30) -> TraceSpec:
+    return TraceSpec(ncpus=1, scale=SCALE, txns=txns, warmup_txns=10, seed=11)
+
+
+def traces_equal(a, b) -> bool:
+    if (a.ncpus, a.scale, a.measured_txns, a.warmup_quanta) != (
+        b.ncpus, b.scale, b.measured_txns, b.warmup_quanta
+    ):
+        return False
+    if a.text_pages != b.text_pages or len(a.quanta) != len(b.quanta):
+        return False
+    return all(
+        qa.cpu == qb.cpu and list(qa.refs) == list(qb.refs)
+        for qa, qb in zip(a.quanta, b.quanta)
+    )
+
+
+class TestLru:
+    def test_build_then_memory_hit(self):
+        store = TraceStore(capacity=2)
+        first = store.get(spec())
+        second = store.get(spec())
+        assert first is second
+        assert store.stats.builds == 1
+        assert store.stats.memory_hits == 1
+
+    def test_capacity_is_bounded(self):
+        store = TraceStore(capacity=2)
+        for txns in (20, 24, 28):
+            store.get(spec(txns))
+        assert len(store) == 2
+        assert spec(20) not in store
+        assert spec(24) in store and spec(28) in store
+
+    def test_eviction_follows_recency(self):
+        store = TraceStore(capacity=2)
+        store.get(spec(20))
+        store.get(spec(24))
+        store.get(spec(20))  # touch: 24 is now least recent
+        store.get(spec(28))
+        assert spec(24) not in store
+        assert spec(20) in store and spec(28) in store
+
+    def test_clear_drops_memory(self):
+        store = TraceStore(capacity=2)
+        store.get(spec())
+        store.clear()
+        assert len(store) == 0
+        store.get(spec())
+        assert store.stats.builds == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)
+
+
+class TestSpill:
+    def test_build_writes_archive(self, tmp_path):
+        store = TraceStore(capacity=2, spill_dir=str(tmp_path))
+        store.get(spec())
+        assert os.path.exists(tmp_path / spec().archive_name)
+
+    def test_second_store_loads_archive_identically(self, tmp_path):
+        built = TraceStore(capacity=2, spill_dir=str(tmp_path)).get(spec())
+        fresh = TraceStore(capacity=2, spill_dir=str(tmp_path))
+        loaded = fresh.get(spec())
+        assert fresh.stats.archive_loads == 1
+        assert fresh.stats.builds == 0
+        assert traces_equal(built, loaded)
+
+    def test_evicted_trace_reloads_from_archive(self, tmp_path):
+        store = TraceStore(capacity=1, spill_dir=str(tmp_path))
+        original = store.get(spec(20))
+        store.get(spec(24))  # evicts spec(20)
+        assert spec(20) not in store
+        again = store.get(spec(20))
+        assert store.stats.archive_loads == 1
+        assert traces_equal(original, again)
+
+    def test_corrupt_archive_rebuilt_silently(self, tmp_path):
+        store = TraceStore(capacity=2, spill_dir=str(tmp_path))
+        original = store.get(spec())
+        path = tmp_path / spec().archive_name
+        path.write_bytes(b"not an npz archive")
+        store.clear()
+        rebuilt = store.get(spec())  # must not raise
+        assert store.stats.builds == 2
+        assert traces_equal(original, rebuilt)
+        # The bad file was replaced with a good archive.
+        fresh = TraceStore(capacity=2, spill_dir=str(tmp_path))
+        fresh.get(spec())
+        assert fresh.stats.archive_loads == 1
+
+    def test_clear_keeps_archives(self, tmp_path):
+        store = TraceStore(capacity=2, spill_dir=str(tmp_path))
+        store.get(spec())
+        store.clear()
+        store.get(spec())
+        assert store.stats.archive_loads == 1
+        assert store.stats.builds == 1
+
+
+class TestEnsureArchived:
+    def test_requires_spill_dir(self):
+        with pytest.raises(ValueError, match="spill_dir"):
+            TraceStore(capacity=2).ensure_archived(spec())
+
+    def test_creates_archive_once(self, tmp_path):
+        store = TraceStore(capacity=2, spill_dir=str(tmp_path))
+        path = store.ensure_archived(spec())
+        assert os.path.exists(path)
+        builds = store.stats.builds
+        assert store.ensure_archived(spec()) == path
+        assert store.stats.builds == builds
+
+    def test_spills_from_memory_without_rebuild(self, tmp_path):
+        store = TraceStore(capacity=2)
+        store.get(spec())  # built with no spill configured
+        store.spill_dir = str(tmp_path)
+        store.ensure_archived(spec())
+        assert store.stats.builds == 1
+        assert os.path.exists(tmp_path / spec().archive_name)
+
+
+def test_default_store_is_process_wide_singleton():
+    assert default_trace_store() is default_trace_store()
