@@ -4,36 +4,100 @@ Each benchmark runs its figure driver once (``pedantic`` with a single
 round — these are minutes-scale simulations, not microbenchmarks) and
 then asserts the figure's headline shape, so a benchmark run doubles
 as a full reproduction check.  Figure 3 is the static latency table.
+
+Every figure's wall-clock and normalized execution times (plus the
+replay engine each bar resolved to) are persisted to
+``BENCH_figures.json`` (override with ``BENCH_FIGURES_OUT``) so the
+performance trajectory of the reproduction itself is tracked run over
+run, the way ``BENCH_campaign.json`` tracks the runner.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
+import pytest
+
 from repro.experiments import fig3_latencies, integration, offchip, onchip, rac
 from repro.experiments import ooo as ooo_experiment
+from repro.experiments.common import Figure
+
+OUT = os.environ.get("BENCH_FIGURES_OUT", "BENCH_figures.json")
 
 
-def once(benchmark, fn):
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+@pytest.fixture(scope="module")
+def figures_report():
+    """Collects one entry per figure; written out after the module."""
+    report = {}
+    yield report
+    payload = {
+        "settings": "paper",
+        "cpu_count": os.cpu_count(),
+        "total_wall_seconds": round(
+            sum(f["wall_seconds"] for f in report.values()), 3
+        ),
+        "figures": report,
+    }
+    with open(OUT, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
 
 
-def test_bench_fig3_latency_table(benchmark):
-    table = once(benchmark, fig3_latencies.render)
+def _rows(result) -> list:
+    """Normalized exec-time rows from a Figure or a study of Figures."""
+    if isinstance(result, Figure):
+        return [
+            {
+                "label": row.label,
+                "time_norm": round(row.time_norm, 3),
+                "miss_norm": round(row.miss_norm, 3),
+                "engine": row.engine,
+            }
+            for row in result.rows
+        ]
+    rows = []
+    for attr in ("uni", "mp"):
+        fig = getattr(result, attr, None)
+        if isinstance(fig, Figure):
+            for entry in _rows(fig):
+                rows.append({**entry, "half": attr})
+    return rows
+
+
+def once(benchmark, fn, report=None, figure=None):
+    start = time.perf_counter()
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    if report is not None:
+        report[figure] = {
+            "wall_seconds": round(time.perf_counter() - start, 3),
+            "rows": _rows(result),
+        }
+    return result
+
+
+def test_bench_fig3_latency_table(benchmark, figures_report):
+    table = once(benchmark, fig3_latencies.render, figures_report, "fig3")
     assert "Conservative Base" in table
     ratios = fig3_latencies.reduction_ratios()
     assert round(ratios["l2_hit"], 2) == 1.67
     assert round(ratios["remote_dirty"], 2) == 1.38
 
 
-def test_bench_fig5_offchip_uniprocessor(benchmark, settings, warmed_traces):
-    fig = once(benchmark, lambda: offchip.run(1, settings))
+def test_bench_fig5_offchip_uniprocessor(benchmark, settings, warmed_traces,
+                                         figures_report):
+    fig = once(benchmark, lambda: offchip.run(1, settings),
+               figures_report, "fig5")
     assert fig.row("2M4w").miss_norm < fig.row("8M1w").miss_norm
     assert fig.row("8M4w").miss_norm < 10
     for s in (1, 2, 4, 8):
         assert fig.row(f"{s}M4w").miss_norm < fig.row(f"{s}M1w").miss_norm
 
 
-def test_bench_fig6_offchip_multiprocessor(benchmark, settings, warmed_traces):
-    fig = once(benchmark, lambda: offchip.run(8, settings))
+def test_bench_fig6_offchip_multiprocessor(benchmark, settings, warmed_traces,
+                                           figures_report):
+    fig = once(benchmark, lambda: offchip.run(8, settings),
+               figures_report, "fig6")
     assert fig.row("8M4w").result.misses.dirty_share > 0.5
     assert (
         fig.row("8M4w").result.misses.d_remote_dirty
@@ -42,31 +106,39 @@ def test_bench_fig6_offchip_multiprocessor(benchmark, settings, warmed_traces):
     assert fig.row("Cons 8M4w").time_norm > fig.row("8M4w").time_norm
 
 
-def test_bench_fig7_onchip_uniprocessor(benchmark, settings, warmed_traces):
-    fig = once(benchmark, lambda: onchip.run(1, settings))
+def test_bench_fig7_onchip_uniprocessor(benchmark, settings, warmed_traces,
+                                        figures_report):
+    fig = once(benchmark, lambda: onchip.run(1, settings),
+               figures_report, "fig7")
     assert fig.speedup("2M8w") > 1.3
     assert fig.row("2M8w").miss_norm < 100
     assert fig.row("1M8w").miss_norm > 100
     assert fig.row("8M8w DRAM").time_norm > fig.row("2M8w").time_norm
 
 
-def test_bench_fig8_onchip_multiprocessor(benchmark, settings, warmed_traces):
-    fig = once(benchmark, lambda: onchip.run(8, settings))
+def test_bench_fig8_onchip_multiprocessor(benchmark, settings, warmed_traces,
+                                          figures_report):
+    fig = once(benchmark, lambda: onchip.run(8, settings),
+               figures_report, "fig8")
     gain = fig.speedup("2M8w")
     assert 1.05 < gain < 1.6
     assert fig.row("8M8w DRAM").miss_norm == min(r.miss_norm for r in fig.rows)
 
 
-def test_bench_fig10_integration_ladder(benchmark, settings, warmed_traces):
-    study = once(benchmark, lambda: integration.run(settings))
+def test_bench_fig10_integration_ladder(benchmark, settings, warmed_traces,
+                                        figures_report):
+    study = once(benchmark, lambda: integration.run(settings),
+                 figures_report, "fig10")
     assert 1.25 < study.uni_full_speedup < 1.8
     assert 1.3 < study.mp_full_speedup < 1.8
     assert 1.4 < study.conservative_speedup < 1.8
     assert abs(study.uni.speedup("L2+MC", over="L2") - 1.0) < 0.08
 
 
-def test_bench_fig11_rac_miss_mix(benchmark, settings, warmed_traces):
-    study = once(benchmark, lambda: rac.run_miss_study(settings))
+def test_bench_fig11_rac_miss_mix(benchmark, settings, warmed_traces,
+                                  figures_report):
+    study = once(benchmark, lambda: rac.run_miss_study(settings),
+                 figures_report, "fig11")
     assert study.rac_no_repl.misses.total == study.no_rac_no_repl.misses.total
     assert study.hit_rate_no_repl > study.hit_rate_repl
     assert (
@@ -75,15 +147,19 @@ def test_bench_fig11_rac_miss_mix(benchmark, settings, warmed_traces):
     )
 
 
-def test_bench_fig12_rac_performance(benchmark, settings, warmed_traces):
-    fig = once(benchmark, lambda: rac.run_perf_study(settings))
+def test_bench_fig12_rac_performance(benchmark, settings, warmed_traces,
+                                     figures_report):
+    fig = once(benchmark, lambda: rac.run_perf_study(settings),
+               figures_report, "fig12")
     assert fig.row("1M4w RAC").time_norm < 100  # small gain...
     assert fig.row("1.25M4w NoRAC").time_norm < fig.row("1M4w RAC").time_norm
     assert abs(fig.speedup("2M8w RAC", over="2M8w NoRAC") - 1.0) < 0.05
 
 
-def test_bench_fig13_out_of_order(benchmark, settings, warmed_traces):
-    study = once(benchmark, lambda: ooo_experiment.run(settings))
+def test_bench_fig13_out_of_order(benchmark, settings, warmed_traces,
+                                  figures_report):
+    study = once(benchmark, lambda: ooo_experiment.run(settings),
+                 figures_report, "fig13")
     assert 1.2 < study.uni_ooo_gain < 1.8
     assert 1.1 < study.mp_ooo_gain < 1.6
     ratios = study.step_ratios()

@@ -133,6 +133,23 @@ class MachineConfig:
         """Coherence nodes (chips); equals ncpus unless CMP is enabled."""
         return self.ncpus // self.cores_per_node
 
+    @property
+    def vectorizable(self) -> bool:
+        """True when the machine itself permits the vectorized replay
+        engine: a single coherence node with one core and none of the
+        structures the numpy kernel does not model (victim buffer, TLB,
+        RAC).  Run options (fault plans, per-quantum checking) can still
+        veto it; :meth:`repro.core.system.System.select_engine` folds
+        both in and is the dispatch's single source of truth.
+        """
+        return (
+            self.num_nodes == 1
+            and self.cores_per_node == 1
+            and not self.victim_entries
+            and not self.tlb_entries
+            and self.rac_size is None
+        )
+
     # -- derived parameters -----------------------------------------------------
 
     @property

@@ -6,18 +6,25 @@ node's L1/L2 hierarchy, invokes the directory protocol on L2 misses
 and ownership upgrades, charges the configuration's Figure-3 latencies
 through the CPU timing model, and accumulates the paper's statistics.
 
-Two replay loops implement identical semantics:
+Three replay engines implement identical semantics:
 
-* ``_run_fast`` — the common case (one core per node, no victim
+* ``_run_fast`` — the scalar common case (one core per node, no victim
   buffer).  It deliberately reaches into the cache objects' internal
   set lists: at millions of references per run, per-access object
   allocation would dominate.
 * ``_run_general`` — the extended configurations (chip multiprocessing,
-  victim buffers) via the clean :class:`~repro.memsys.hierarchy.NodeCaches`
-  API.
+  victim buffers, software TLBs) via the clean
+  :class:`~repro.memsys.hierarchy.NodeCaches` API.
+* ``_run_vectorized`` — the numpy kernel in
+  :mod:`repro.memsys.vectorized` for coherence-free uniprocessor
+  configurations; selected automatically and value-identical to
+  ``_run_fast`` by contract.
 
-The test suite cross-checks the two against an independent reference
-implementation (``tests/core/test_reference_model.py``).
+:meth:`System.select_engine` is the single source of truth for the
+dispatch; ``engine=`` overrides it so every path stays reachable.  The
+test suite cross-checks all three against an independent reference
+implementation (``tests/core/test_reference_model.py``) and against
+each other (``tests/core/test_differential.py``).
 """
 
 from __future__ import annotations
@@ -37,7 +44,7 @@ from repro.cpu.events import (
 from repro.cpu.inorder import InOrderCPU
 from repro.cpu.ooo import OutOfOrderCPU
 from repro.integrity.checker import Checker, CheckLevel
-from repro.integrity.errors import StateError, TraceMismatchError
+from repro.integrity.errors import ConfigError, StateError, TraceMismatchError
 from repro.memsys.hierarchy import HierarchyLevel, NodeCaches
 from repro.memsys.rac import RemoteAccessCache
 from repro.params import (
@@ -62,6 +69,9 @@ _KIND_TO_STALL = {
     MissKind.REMOTE_DIRTY: STALL_REMOTE_DIRTY,
 }
 
+#: Replay engines accepted by :class:`System` and :func:`simulate`.
+ENGINES = ("auto", "fast", "general", "vectorized")
+
 
 class System:
     """A single-use simulator instance for one machine configuration.
@@ -75,14 +85,24 @@ class System:
     :class:`~repro.integrity.checker.CheckLevel`).  ``fault_plan``
     deliberately corrupts state mid-run to mutation-test the checker
     (see :class:`~repro.integrity.faults.FaultPlan`).
+
+    ``engine`` pins the replay engine: ``"auto"`` (default) applies
+    :meth:`select_engine`, the explicit names force one path and raise
+    :class:`~repro.integrity.errors.ConfigError` when the configuration
+    cannot run on it.  All engines produce value-identical results
+    wherever their domains overlap.
     """
 
     def __init__(self, machine: MachineConfig, force_general: bool = False,
-                 *, check="off", fault_plan=None):
+                 *, check="off", fault_plan=None, engine: str = "auto"):
         self.machine = machine
         self.force_general = force_general
         self.checker = Checker(check)
         self.fault_plan = fault_plan
+        self.engine = self.select_engine(
+            machine, force_general=force_general, check=check,
+            fault_plan=fault_plan, engine=engine,
+        )
         self.nodes: List[NodeCaches] = [
             NodeCaches(
                 machine.scaled_l2_size,
@@ -111,6 +131,53 @@ class System:
         self.writes = 0
         self.protocol: Optional[DirectoryProtocol] = None
         self._ran = False
+
+    # -- engine selection ---------------------------------------------------------
+
+    @staticmethod
+    def select_engine(machine: MachineConfig, *, force_general: bool = False,
+                      check="off", fault_plan=None,
+                      engine: str = "auto") -> str:
+        """Resolve the replay engine for a configuration.
+
+        This is the dispatch rule ``run`` uses and the provenance the
+        campaign runner records per job; it depends only on the machine
+        and run options, never on the trace.
+        """
+        if engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {engine!r}; choose one of {', '.join(ENGINES)}"
+            )
+        needs_general = bool(
+            machine.cores_per_node > 1 or machine.victim_entries
+            or machine.tlb_entries or force_general
+        )
+        if engine == "general":
+            return "general"
+        if engine == "fast":
+            if needs_general:
+                raise ConfigError(
+                    "engine='fast' cannot replay CMP, victim-buffer or "
+                    "TLB configurations; use engine='general'"
+                )
+            return "fast"
+        vector_ok = (
+            not force_general
+            and machine.vectorizable
+            and fault_plan is None
+            and CheckLevel.coerce(check) is not CheckLevel.PER_QUANTUM
+        )
+        if engine == "vectorized":
+            if not vector_ok:
+                raise ConfigError(
+                    "engine='vectorized' supports only single-node, "
+                    "single-core machines with no victim buffer, TLB, "
+                    "RAC, fault plan or per-quantum checking"
+                )
+            return "vectorized"
+        if needs_general:
+            return "general"
+        return "vectorized" if vector_ok else "fast"
 
     # -- measurement reset at the warmup boundary --------------------------------
 
@@ -189,9 +256,10 @@ class System:
         protocol = self.protocol = DirectoryProtocol(homemap, self.nodes, self.racs)
         net = InterconnectModel(machine.latencies)
 
-        if (machine.cores_per_node > 1 or machine.victim_entries
-                or machine.tlb_entries or self.force_general):
+        if self.engine == "general":
             self._run_general(trace, protocol, net)
+        elif self.engine == "vectorized":
+            self._run_vectorized(trace, protocol, net)
         else:
             self._run_fast(trace, protocol, net)
 
@@ -203,6 +271,26 @@ class System:
         if self.checker.enabled:
             result.verify()
         return result
+
+    # -- the vectorized uniprocessor kernel ----------------------------------------
+
+    def _run_vectorized(self, trace, protocol: DirectoryProtocol,
+                        net: InterconnectModel) -> None:
+        from repro.memsys.vectorized import (
+            VectorizedUnsupported,
+            replay_uniprocessor,
+        )
+
+        try:
+            replay_uniprocessor(self, trace, protocol, net)
+        except VectorizedUnsupported:
+            # Rare hand-built traces (e.g. an instruction fetch carrying
+            # the write flag) fall outside the kernel's contract; the
+            # scalar loop handles them with identical results.  State is
+            # untouched at this point: the kernel validates before it
+            # mutates anything.
+            self.engine = "fast"
+            self._run_fast(trace, protocol, net)
 
     # -- the optimized common-case loop ------------------------------------------------
 
@@ -566,10 +654,11 @@ class System:
 
 
 def simulate(machine: MachineConfig, trace, *, force_general: bool = False,
-             check="off", fault_plan=None) -> RunResult:
+             check="off", fault_plan=None, engine: str = "auto") -> RunResult:
     """Convenience wrapper: build a System, replay ``trace``, return stats.
 
-    ``check`` and ``fault_plan`` pass through to :class:`System`.
+    ``check``, ``fault_plan`` and ``engine`` pass through to
+    :class:`System`.
     """
     return System(machine, force_general,
-                  check=check, fault_plan=fault_plan).run(trace)
+                  check=check, fault_plan=fault_plan, engine=engine).run(trace)

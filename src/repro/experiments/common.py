@@ -19,7 +19,7 @@ from typing import List, Optional, Tuple, Union
 
 from repro.core.machine import MachineConfig
 from repro.core.results import RunResult
-from repro.core.system import simulate
+from repro.core.system import System, simulate
 from repro.runner import SimJob, TraceSpec, default_trace_store, run_simulations
 from repro.trace.generator import OltpTrace
 
@@ -82,6 +82,10 @@ class Row:
     result: RunResult
     time_norm: float = 0.0
     miss_norm: float = 0.0
+    #: Replay engine the configuration resolved to ("fast", "general"
+    #: or "vectorized") — provenance for plots and benchmark reports;
+    #: never part of the numbers themselves.
+    engine: str = ""
 
     @property
     def breakdown_norm(self) -> dict:
@@ -153,8 +157,9 @@ def run_configs(
             for _, machine in labelled_configs
         ]
     rows = [
-        Row(label, result)
-        for (label, _), result in zip(labelled_configs, results)
+        Row(label, result,
+            engine=System.select_engine(machine, check=check))
+        for (label, machine), result in zip(labelled_configs, results)
     ]
     base_time = rows[baseline_index].result.exec_time or 1.0
     base_miss = rows[baseline_index].result.misses.total or 1

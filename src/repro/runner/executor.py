@@ -33,7 +33,7 @@ from contextlib import contextmanager
 from typing import IO, Dict, List, Optional, Sequence
 
 from repro.core.results import RunResult
-from repro.core.system import simulate
+from repro.core.system import System, simulate
 from repro.runner.cache import ResultCache
 from repro.runner.jobs import SimJob
 from repro.runner.telemetry import (
@@ -164,8 +164,13 @@ class CampaignRunner:
         return results  # type: ignore[return-value]
 
     def _record(self, job: SimJob, seconds: float, source: str) -> None:
+        # Engine provenance: which replay path this configuration
+        # resolves to.  Depends only on the machine and run options, so
+        # it is equally meaningful for cached and simulated results.
+        engine = System.select_engine(job.machine, check=job.check)
         rec = self.telemetry.record(
-            job.label, self._batch, job.content_hash(), seconds, source
+            job.label, self._batch, job.content_hash(), seconds, source,
+            engine,
         )
         self._progress.job_done(rec)
 

@@ -32,6 +32,11 @@ class JobRecord:
     job_hash: str
     seconds: float
     source: str  # SOURCE_CACHE or SOURCE_SIMULATED
+    #: Replay engine the job's configuration resolves to ("fast",
+    #: "general" or "vectorized").  Provenance only: the engine is not
+    #: part of the job's content hash, because all engines are
+    #: value-identical and cached results stay valid across them.
+    engine: str = ""
 
     def to_dict(self) -> dict:
         return {
@@ -40,6 +45,7 @@ class JobRecord:
             "job_hash": self.job_hash,
             "seconds": round(self.seconds, 6),
             "source": self.source,
+            "engine": self.engine,
         }
 
 
@@ -63,8 +69,8 @@ class CampaignTelemetry:
     # -- recording -------------------------------------------------------------
 
     def record(self, label: str, batch: str, job_hash: str, seconds: float,
-               source: str) -> JobRecord:
-        rec = JobRecord(label, batch, job_hash, seconds, source)
+               source: str, engine: str = "") -> JobRecord:
+        rec = JobRecord(label, batch, job_hash, seconds, source, engine)
         self.records.append(rec)
         return rec
 

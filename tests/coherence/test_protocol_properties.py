@@ -1,0 +1,153 @@
+"""Property-based tests for directory state transitions.
+
+The stateful machine in ``test_protocol_stateful.py`` explores the
+protocol's whole operation surface; these properties pin the
+individual transition rules of :meth:`DirectoryProtocol.service_miss`
+/ :meth:`ensure_owner` / :meth:`handle_eviction` directly, for
+arbitrary interleavings of reads and writes from arbitrary nodes:
+
+* a serviced **write** leaves the writer as sole owner and sole holder;
+* a serviced **read** adds the reader as a sharer and leaves no owner
+  unless an owner survives untouched;
+* an **upgrade** invalidates every other holder;
+* an **eviction** removes the node and writes dirty data back;
+* after every transition the directory matches cache contents exactly
+  (``check_consistency``).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coherence.homemap import HomeMap
+from repro.coherence.protocol import DirectoryProtocol
+from repro.memsys.hierarchy import HierarchyLevel, NodeCaches
+from repro.params import MissKind
+
+NNODES = 4
+PAGE = 256
+
+OPS = st.lists(
+    st.tuples(
+        st.integers(0, NNODES - 1),   # node
+        st.integers(0, 31),           # line
+        st.booleans(),                # write
+    ),
+    min_size=1, max_size=80,
+)
+
+
+def build():
+    nodes = [
+        NodeCaches(2048, 2, l1_size=256, l1_assoc=2, node_id=i)
+        for i in range(NNODES)
+    ]
+    protocol = DirectoryProtocol(HomeMap(NNODES, PAGE), nodes)
+    return nodes, protocol
+
+
+def demand(nodes, protocol, node, line, write):
+    """One demand access with full protocol bookkeeping; returns the
+    ServiceOutcome when the access missed in the node's hierarchy."""
+    result = nodes[node].access(line, write, False)
+    if result.victim is not None:
+        protocol.handle_eviction(node, result.victim, result.victim_dirty)
+    if result.level is HierarchyLevel.MISS:
+        return protocol.service_miss(node, line, write, False)
+    if write:
+        protocol.ensure_owner(node, line)
+    return None
+
+
+@given(OPS)
+@settings(max_examples=80, deadline=None)
+def test_write_makes_requester_sole_owner(ops):
+    nodes, protocol = build()
+    for node, line, write in ops:
+        demand(nodes, protocol, node, line, write)
+        if write:
+            directory = protocol.directory
+            assert directory.owner(line) == node
+            assert directory.sharers(line) == frozenset({node})
+
+
+@given(OPS)
+@settings(max_examples=80, deadline=None)
+def test_read_adds_sharer_and_strips_foreign_dirty_ownership(ops):
+    nodes, protocol = build()
+    for node, line, write in ops:
+        before_owner = protocol.directory.owner(line)
+        outcome = demand(nodes, protocol, node, line, write)
+        if not write:
+            directory = protocol.directory
+            assert directory.is_cached_by(line, node)
+            if (outcome is not None and before_owner is not None
+                    and before_owner != node
+                    and outcome.kind is MissKind.REMOTE_DIRTY):
+                # A dirty owner was downgraded to a plain sharer.
+                assert directory.owner(line) is None
+                assert directory.is_cached_by(line, before_owner)
+
+
+@given(OPS)
+@settings(max_examples=80, deadline=None)
+def test_directory_always_matches_caches(ops):
+    nodes, protocol = build()
+    for node, line, write in ops:
+        demand(nodes, protocol, node, line, write)
+        protocol.check_consistency()
+
+
+@given(OPS)
+@settings(max_examples=80, deadline=None)
+def test_at_most_one_dirty_holder(ops):
+    nodes, protocol = build()
+    for node, line, write in ops:
+        demand(nodes, protocol, node, line, write)
+        holders = [
+            i for i, caches in enumerate(nodes)
+            if caches.holds_dirty(line)
+        ]
+        assert len(holders) <= 1
+        if holders:
+            assert protocol.directory.owner(line) == holders[0]
+
+
+@given(OPS, st.integers(0, NNODES - 1))
+@settings(max_examples=60, deadline=None)
+def test_eviction_removes_node_and_collects_dirty_data(ops, victim_node):
+    nodes, protocol = build()
+    for node, line, write in ops:
+        demand(nodes, protocol, node, line, write)
+    caches = nodes[victim_node]
+    for line in list(caches.l2.resident_lines()):
+        dirty = caches.holds_dirty(line)
+        before_wb = protocol.writebacks
+        caches.invalidate(line)
+        protocol.handle_eviction(victim_node, line, dirty)
+        assert not protocol.directory.is_cached_by(line, victim_node)
+        assert protocol.writebacks == before_wb + (1 if dirty else 0)
+    protocol.check_consistency()
+
+
+@given(OPS)
+@settings(max_examples=60, deadline=None)
+def test_upgrade_invalidates_every_other_holder(ops):
+    nodes, protocol = build()
+    for node, line, write in ops:
+        demand(nodes, protocol, node, line, write)
+    # Force-upgrade node 0 on every line it still caches.
+    for line in list(nodes[0].l2.resident_lines()):
+        others_before = [
+            i for i in protocol.directory.sharers(line) if i != 0
+        ]
+        outcome = protocol.ensure_owner(0, line)
+        assert protocol.directory.owner(line) == 0
+        for other in others_before:
+            assert not nodes[other].l2.contains(line)
+            assert not protocol.directory.is_cached_by(line, other)
+        if outcome is not None:
+            assert outcome.upgrade
+            assert outcome.invalidations == len(others_before)
+    protocol.check_consistency()

@@ -1,0 +1,191 @@
+"""Three-engine differential harness.
+
+One parametrized sweep asserting that the three replay engines —
+``_run_fast``, ``_run_general`` and the numpy ``_run_vectorized``
+kernel — produce **equal** ``RunResult.to_dict()`` payloads for every
+uniprocessor configuration in the grid: L2 sizes × associativities ×
+SRAM/DRAM technology × TLB on/off, in-order and out-of-order CPUs,
+with and without a warmup window.
+
+Equality of the full serialized result is the contract that lets
+cached campaign results stay valid across engines without a
+``CODE_VERSION`` bump: any field drifting — breakdowns, miss
+taxonomies, L1 stats, directory counters — fails here first.
+
+TLB-on cells are the negative half of the grid: the vectorized and
+fast engines must *refuse* them (ConfigError) and auto-selection must
+fall back to the general engine, rather than silently mis-replaying.
+"""
+
+import random
+
+import pytest
+
+from repro.core.machine import MachineConfig
+from repro.core.system import ENGINES, System
+from repro.cpu.events import encode
+from repro.integrity.errors import ConfigError
+from repro.params import KB, IntegrationLevel, L2Technology
+from repro.trace.synthetic import make_trace
+
+PAGE = 256
+
+
+def synthetic_trace(seed, *, nquanta=60, nlines=300, warmup=0):
+    """Seeded uniprocessor trace with enough distinct lines to force
+    eviction pressure on the small grid geometries."""
+    rng = random.Random(seed)
+    quanta = []
+    for _ in range(nquanta):
+        refs = []
+        for _ in range(rng.randint(4, 40)):
+            instr = rng.random() < 0.4
+            refs.append(
+                encode(
+                    rng.randrange(nlines),
+                    write=(not instr) and rng.random() < 0.4,
+                    instr=instr,
+                    kernel=rng.random() < 0.2,
+                )
+            )
+        quanta.append((0, refs))
+    return make_trace(1, quanta, page_bytes=PAGE, warmup_quanta=warmup)
+
+
+def grid_machine(l2_size, l2_assoc, technology, cpu_model="inorder",
+                 tlb_entries=0):
+    """One grid cell; scale=1 so the geometry is exactly as stated."""
+    if technology is L2Technology.OFF_CHIP_SRAM:
+        integration = IntegrationLevel.BASE
+    else:
+        integration = IntegrationLevel.L2
+    return MachineConfig(
+        label=f"diff {l2_size // KB}K{l2_assoc}w {technology.value}",
+        ncpus=1,
+        integration=integration,
+        l2_size=l2_size,
+        l2_assoc=l2_assoc,
+        l2_technology=technology,
+        cpu_model=cpu_model,
+        tlb_entries=tlb_entries,
+        scale=1,
+    )
+
+
+GEOMETRIES = [
+    (2 * KB, 1),    # direct-mapped, heavy eviction
+    (4 * KB, 2),    # hybrid: some sets overflow
+    (8 * KB, 4),    # 4-way, overflow-dominated (specialized walk)
+    (16 * KB, 4),   # 4-way, mixed overflow/known-outcome schedule
+    (32 * KB, 8),   # no-evict: every set holds its footprint
+]
+TECHNOLOGIES = [
+    L2Technology.OFF_CHIP_SRAM,
+    L2Technology.ON_CHIP_SRAM,
+    L2Technology.ON_CHIP_DRAM,
+]
+
+
+def run_all_engines(machine, trace):
+    """Replay ``trace`` once per engine; Systems are single-use."""
+    return {
+        engine: System(machine, engine=engine).run(trace).to_dict()
+        for engine in ("fast", "general", "vectorized")
+    }
+
+
+class TestThreeEngineEquivalence:
+    @pytest.mark.parametrize("technology", TECHNOLOGIES,
+                             ids=lambda t: t.value)
+    @pytest.mark.parametrize("geometry", GEOMETRIES,
+                             ids=lambda g: f"{g[0] // KB}K{g[1]}w")
+    @pytest.mark.parametrize("seed,warmup", [(3, 0), (11, 12)])
+    def test_runresults_identical(self, seed, warmup, geometry, technology):
+        l2_size, l2_assoc = geometry
+        machine = grid_machine(l2_size, l2_assoc, technology)
+        trace = synthetic_trace(seed, warmup=warmup)
+        results = run_all_engines(machine, trace)
+        assert results["vectorized"] == results["fast"]
+        assert results["fast"] == results["general"]
+
+    @pytest.mark.parametrize("geometry", [(2 * KB, 1), (2 * KB, 4),
+                                          (4 * KB, 2), (16 * KB, 4),
+                                          (32 * KB, 8)],
+                             ids=lambda g: f"{g[0] // KB}K{g[1]}w")
+    def test_runresults_identical_ooo(self, geometry):
+        l2_size, l2_assoc = geometry
+        machine = grid_machine(l2_size, l2_assoc,
+                               L2Technology.ON_CHIP_SRAM, cpu_model="ooo")
+        trace = synthetic_trace(17, warmup=8)
+        results = run_all_engines(machine, trace)
+        assert results["vectorized"] == results["fast"]
+        assert results["fast"] == results["general"]
+
+    def test_auto_selection_matches_forced_engines(self):
+        machine = grid_machine(4 * KB, 2, L2Technology.OFF_CHIP_SRAM)
+        trace = synthetic_trace(5)
+        auto_sys = System(machine)
+        assert auto_sys.engine == "vectorized"
+        auto = auto_sys.run(trace).to_dict()
+        assert auto == System(machine, engine="fast").run(trace).to_dict()
+
+
+class TestTlbCells:
+    """TLB-on half of the grid: only the general engine may replay."""
+
+    def tlb_machine(self):
+        return grid_machine(4 * KB, 2, L2Technology.OFF_CHIP_SRAM,
+                            tlb_entries=4)
+
+    def test_vectorized_refuses_tlb(self):
+        with pytest.raises(ConfigError):
+            System(self.tlb_machine(), engine="vectorized")
+
+    def test_fast_refuses_tlb(self):
+        with pytest.raises(ConfigError):
+            System(self.tlb_machine(), engine="fast")
+
+    def test_auto_falls_back_to_general(self):
+        machine = self.tlb_machine()
+        assert System.select_engine(machine) == "general"
+        system = System(machine)
+        assert system.engine == "general"
+        system.run(synthetic_trace(5))  # replays without error
+
+    def test_machine_reports_not_vectorizable(self):
+        assert not self.tlb_machine().vectorizable
+        assert grid_machine(4 * KB, 2, L2Technology.OFF_CHIP_SRAM).vectorizable
+
+
+class TestEngineSelection:
+    def test_engines_tuple_is_the_contract(self):
+        assert ENGINES == ("auto", "fast", "general", "vectorized")
+        with pytest.raises(ConfigError):
+            System.select_engine(MachineConfig.base(1), engine="turbo")
+
+    def test_uniprocessor_auto_selects_vectorized(self):
+        assert System.select_engine(MachineConfig.base(1)) == "vectorized"
+
+    def test_multiprocessor_auto_selects_fast(self):
+        assert System.select_engine(MachineConfig.base(8)) == "fast"
+
+    def test_per_quantum_checking_vetoes_vectorized(self):
+        machine = MachineConfig.base(1)
+        assert System.select_engine(machine, check="per-quantum") == "fast"
+        with pytest.raises(ConfigError):
+            System.select_engine(machine, check="per-quantum",
+                                 engine="vectorized")
+
+    def test_fault_plan_vetoes_vectorized(self):
+        machine = MachineConfig.base(1)
+        assert System.select_engine(machine, fault_plan=object()) == "fast"
+
+    def test_engine_is_not_part_of_job_identity(self):
+        """Cached results must stay valid whatever engine produced
+        them: the SimJob content hash may not include the engine."""
+        from repro.runner.jobs import SimJob
+        from repro.runner.tracestore import TraceSpec
+
+        spec = TraceSpec(ncpus=1, scale=64, txns=20, seed=1)
+        job = SimJob(spec=spec, machine=MachineConfig.base(1))
+        assert "engine" not in repr(job.payload()).lower()

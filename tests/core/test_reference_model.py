@@ -1,14 +1,19 @@
-"""Differential test: the optimized System loop vs a clean reference.
+"""Differential test: every replay engine vs a clean reference.
 
-The System inner loop reaches into cache internals for speed.  This
+The System replay engines reach into cache internals for speed (the
+vectorized one does not even keep per-reference cache state).  This
 test re-implements the replay using only the public NodeCaches /
-DirectoryProtocol / InterconnectModel APIs and checks that both
-produce identical stall accounting and miss classification on random
-multiprocessor traces.
+DirectoryProtocol / InterconnectModel APIs and checks that each engine
+produces identical stall accounting and miss classification.  Engine
+parity with each *other* is covered exhaustively by
+``tests/core/test_differential.py``; here every engine is anchored to
+the reference semantics directly, so a bug shared by all three cannot
+hide.
 """
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -16,7 +21,7 @@ from repro.coherence.homemap import HomeMap
 from repro.coherence.network import InterconnectModel
 from repro.coherence.protocol import DirectoryProtocol
 from repro.core.machine import MachineConfig
-from repro.core.system import simulate
+from repro.core.system import System
 from repro.cpu.events import encode
 from repro.cpu.inorder import InOrderCPU
 from repro.memsys.hierarchy import HierarchyLevel, NodeCaches
@@ -110,24 +115,53 @@ def machine_for(ncpus, l2_size, l2_assoc):
     return MachineConfig.base(ncpus, l2_size=l2_size, l2_assoc=l2_assoc, scale=1)
 
 
-@given(st.integers(0, 10_000), st.sampled_from([1, 2, 4]),
+@pytest.mark.parametrize("engine", ["fast", "general", "vectorized"])
+@given(st.integers(0, 10_000),
        st.sampled_from([(2048, 1), (4096, 2), (8192, 4)]))
-@settings(max_examples=25, deadline=None)
-def test_fast_loop_matches_reference(seed, ncpus, geometry):
+@settings(max_examples=15, deadline=None)
+def test_uniprocessor_engines_match_reference(engine, seed, geometry):
+    l2_size, l2_assoc = geometry
+    trace = random_trace(seed, 1)
+    machine = machine_for(1, l2_size, l2_assoc)
+    got = System(machine, engine=engine).run(trace)
+    ref_total, ref_misses = reference_run(machine, random_trace(seed, 1))
+    assert got.breakdown.total == ref_total
+    assert got.misses.as_dict() == ref_misses.as_dict()
+
+
+@pytest.mark.parametrize("engine", ["fast", "general"])
+@given(st.integers(0, 10_000), st.sampled_from([2, 4]),
+       st.sampled_from([(2048, 1), (4096, 2), (8192, 4)]))
+@settings(max_examples=15, deadline=None)
+def test_multiprocessor_engines_match_reference(engine, seed, ncpus, geometry):
     l2_size, l2_assoc = geometry
     trace = random_trace(seed, ncpus)
     machine = machine_for(ncpus, l2_size, l2_assoc)
-    fast = simulate(machine, trace)
+    got = System(machine, engine=engine).run(trace)
     ref_total, ref_misses = reference_run(machine, random_trace(seed, ncpus))
-    assert fast.breakdown.total == ref_total
-    assert fast.misses.as_dict() == ref_misses.as_dict()
+    assert got.breakdown.total == ref_total
+    assert got.misses.as_dict() == ref_misses.as_dict()
 
 
-def test_fast_loop_matches_reference_small_caches():
+@pytest.mark.parametrize("engine", ["fast", "general", "vectorized"])
+def test_engines_match_reference_small_caches(engine):
     """Heavy eviction pressure: tiny L2 forces constant replacement."""
+    trace = random_trace(99, 1, nquanta=120, nlines=200)
+    machine = machine_for(1, 1024, 1)
+    got = System(machine, engine=engine).run(trace)
+    ref_total, ref_misses = reference_run(
+        machine, random_trace(99, 1, nquanta=120, nlines=200)
+    )
+    assert got.breakdown.total == ref_total
+    assert got.misses.as_dict() == ref_misses.as_dict()
+
+
+def test_multiprocessor_small_caches_matches_reference():
     trace = random_trace(99, 4, nquanta=120, nlines=200)
     machine = machine_for(4, 1024, 1)
-    fast = simulate(machine, trace)
-    ref_total, ref_misses = reference_run(machine, random_trace(99, 4, nquanta=120, nlines=200))
-    assert fast.breakdown.total == ref_total
-    assert fast.misses.as_dict() == ref_misses.as_dict()
+    got = System(machine).run(trace)
+    ref_total, ref_misses = reference_run(
+        machine, random_trace(99, 4, nquanta=120, nlines=200)
+    )
+    assert got.breakdown.total == ref_total
+    assert got.misses.as_dict() == ref_misses.as_dict()

@@ -1,0 +1,59 @@
+"""Golden-regression tests: frozen traces, frozen RunResults.
+
+Fails on any unflagged semantic drift anywhere in the replay stack —
+engines, miss taxonomy, latency tables, stat plumbing.  If the drift
+is intentional, regenerate and commit the fixture diff::
+
+    PYTHONPATH=src python -m tests.golden.regen
+
+See ``tests/golden/regen.py`` for what is frozen and why.
+"""
+
+import json
+
+import pytest
+
+from repro.core.machine import MachineConfig
+from repro.core.system import System, simulate
+
+from tests.golden import regen
+
+REGEN_HINT = (
+    "golden fixture drifted; if intentional, regenerate with "
+    "`PYTHONPATH=src python -m tests.golden.regen` and commit the diff"
+)
+
+
+def load_case(name):
+    trace = regen.trace_from_dict(
+        json.loads(regen.trace_path(name).read_text())
+    )
+    expected = json.loads(regen.expected_path(name).read_text())
+    machine = MachineConfig.from_dict(expected["machine"])
+    return machine, trace, expected
+
+
+@pytest.mark.parametrize("name", sorted(regen.CASES))
+def test_golden_runresult_exact(name):
+    machine, trace, expected = load_case(name)
+    got = simulate(machine, trace).to_dict()
+    assert got == expected, REGEN_HINT
+
+
+def test_golden_uni_identical_across_engines():
+    """The frozen uniprocessor expectation holds for all three
+    engines, not just the auto-selected one."""
+    machine, trace, expected = load_case("uni")
+    for engine in ("fast", "general", "vectorized"):
+        got = System(machine, engine=engine).run(trace).to_dict()
+        assert got == expected, f"engine={engine}: {REGEN_HINT}"
+
+
+def test_fixtures_are_in_sync_with_regen_config():
+    """The checked-in machine payloads match the regen script's CASES,
+    so a config edit without regeneration is flagged immediately."""
+    for name, case in regen.CASES.items():
+        expected = json.loads(regen.expected_path(name).read_text())
+        assert expected["machine"] == case["machine"]().to_dict(), (
+            f"{name}: {REGEN_HINT}"
+        )

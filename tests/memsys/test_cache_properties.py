@@ -1,0 +1,134 @@
+"""Property-based tests for SetAssocCache and the L1/L2 hierarchy.
+
+These complement the stateful machine in ``test_cache_stateful.py``
+with direct universally-quantified properties over arbitrary access
+sequences:
+
+* **LRU eviction order** — every victim is exactly the
+  least-recently-used line of its set at eviction time;
+* **writeback dirtiness** — a replacement writes back iff the victim
+  was written (and not cleaned) since it last entered the cache;
+* **L2→L1 inclusion** — after any demand access sequence through
+  :class:`NodeCaches`, every line resident in an L1 is resident in
+  the L2.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsys.cache import SetAssocCache
+from repro.memsys.hierarchy import NodeCaches
+
+# Small geometry so short sequences generate heavy eviction traffic.
+NUM_SETS = 4
+ASSOC = 2
+LINE = 64
+
+ACCESSES = st.lists(
+    st.tuples(st.integers(0, 31), st.booleans()),  # (line, write)
+    min_size=1, max_size=120,
+)
+
+
+def fresh_cache() -> SetAssocCache:
+    return SetAssocCache(NUM_SETS * ASSOC * LINE, ASSOC, LINE)
+
+
+@given(ACCESSES)
+@settings(max_examples=120, deadline=None)
+def test_victim_is_always_the_lru_line(accesses):
+    """Whenever an access evicts, the victim must be the line of that
+    set that was touched longest ago (fills and hits both refresh
+    recency)."""
+    cache = fresh_cache()
+    recency = {i: [] for i in range(NUM_SETS)}  # MRU-first per set
+    for line, write in accesses:
+        order = recency[line % NUM_SETS]
+        result = cache.access(line, write)
+        if result.hit:
+            assert line in order
+            order.remove(line)
+        else:
+            if len(order) == ASSOC:
+                assert result.victim == order[-1]
+                assert not cache.contains(result.victim)
+                order.pop()
+            else:
+                assert result.victim is None
+        order.insert(0, line)
+        assert cache.contains(line)
+
+
+@given(ACCESSES)
+@settings(max_examples=120, deadline=None)
+def test_writeback_iff_victim_written_since_fill(accesses):
+    """A replacement writes back exactly when the victim took a write
+    after it last entered the cache."""
+    cache = fresh_cache()
+    written = set()
+    for line, write in accesses:
+        result = cache.access(line, write)
+        if result.victim is not None:
+            assert result.victim_dirty == (result.victim in written)
+            assert result.writeback == (result.victim in written)
+            written.discard(result.victim)
+        if write:
+            written.add(line)
+    # Final state agrees too: dirty lines are exactly the written,
+    # still-resident ones.
+    assert set(cache.dirty_lines()) == {
+        line for line in written if cache.contains(line)
+    }
+
+
+@given(ACCESSES)
+@settings(max_examples=120, deadline=None)
+def test_clean_clears_writeback_obligation(accesses):
+    """After clean(), a line evicts silently unless rewritten."""
+    cache = fresh_cache()
+    for line, write in accesses:
+        cache.access(line, write)
+    for line in list(cache.resident_lines()):
+        cache.clean(line)
+        assert not cache.is_dirty(line)
+
+
+@given(st.lists(
+    st.tuples(st.integers(0, 63), st.booleans(), st.booleans()),
+    min_size=1, max_size=150,
+))
+@settings(max_examples=100, deadline=None)
+def test_l2_l1_inclusion(accesses):
+    """Demand accesses through NodeCaches never leave an L1 holding a
+    line the L2 evicted: the hierarchy purges L1 copies on every L2
+    replacement."""
+    node = NodeCaches(
+        NUM_SETS * ASSOC * LINE, ASSOC,
+        l1_size=2 * ASSOC * LINE, l1_assoc=ASSOC, line_size=LINE,
+    )
+    for line, write, instr in accesses:
+        node.access(line, write and not instr, instr)
+        resident = set(node.l2.resident_lines())
+        for l1 in (node.l1i, node.l1d):
+            for held in l1.resident_lines():
+                assert held in resident, (
+                    f"L1 holds {held:#x} but L2 evicted it"
+                )
+
+
+@given(st.lists(st.tuples(st.integers(0, 63), st.booleans()),
+                min_size=1, max_size=150))
+@settings(max_examples=100, deadline=None)
+def test_l1d_dirty_implies_l2_tracks_the_line(accesses):
+    """Every dirty data line in the L1 is L2-resident, so a future L2
+    eviction can always collect the writeback."""
+    node = NodeCaches(
+        NUM_SETS * ASSOC * LINE, ASSOC,
+        l1_size=2 * ASSOC * LINE, l1_assoc=ASSOC, line_size=LINE,
+    )
+    for line, write in accesses:
+        node.access(line, write, False)
+        for dirty_line in node.l1d.dirty_lines():
+            assert node.l2.contains(dirty_line)
