@@ -150,6 +150,22 @@ class MachineConfig:
             and self.rac_size is None
         )
 
+    @property
+    def mp_vectorizable(self) -> bool:
+        """True when the machine permits the staged multiprocessor
+        engine: several coherence nodes, one core each, and none of the
+        structures the pipeline does not model (victim buffer, TLB).
+        RACs are allowed — they route to the engine's stream mode.
+        As with :attr:`vectorizable`, run options can still veto it in
+        :meth:`repro.core.system.System.select_engine`.
+        """
+        return (
+            self.num_nodes > 1
+            and self.cores_per_node == 1
+            and not self.victim_entries
+            and not self.tlb_entries
+        )
+
     # -- derived parameters -----------------------------------------------------
 
     @property

@@ -6,7 +6,7 @@ node's L1/L2 hierarchy, invokes the directory protocol on L2 misses
 and ownership upgrades, charges the configuration's Figure-3 latencies
 through the CPU timing model, and accumulates the paper's statistics.
 
-Three replay engines implement identical semantics:
+Four replay engines implement identical semantics:
 
 * ``_run_fast`` — the scalar common case (one core per node, no victim
   buffer).  It deliberately reaches into the cache objects' internal
@@ -19,10 +19,19 @@ Three replay engines implement identical semantics:
   :mod:`repro.memsys.vectorized` for coherence-free uniprocessor
   configurations; selected automatically and value-identical to
   ``_run_fast`` by contract.
+* ``_run_vectorized_mp`` — the staged multiprocessor pipeline in
+  :mod:`repro.memsys.vectorized_mp`: a sharing-census pre-pass
+  (:func:`repro.trace.census.sharing_census`) splits lines into
+  provably-private and potentially-shared classes, per-quantum walks
+  replay the private hierarchy in bulk, and only the compact
+  shared-line event stream reaches the directory protocol
+  (:class:`repro.coherence.core.CoherenceCore`), with timing charged
+  per quantum by :mod:`repro.cpu.timing`.  Also value-identical to
+  ``_run_fast`` by contract.
 
 :meth:`System.select_engine` is the single source of truth for the
 dispatch; ``engine=`` overrides it so every path stays reachable.  The
-test suite cross-checks all three against an independent reference
+test suite cross-checks the engines against an independent reference
 implementation (``tests/core/test_reference_model.py``) and against
 each other (``tests/core/test_differential.py``).
 """
@@ -31,16 +40,12 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.coherence.core import KIND_TO_STALL
 from repro.coherence.homemap import HomeMap
 from repro.coherence.network import InterconnectModel
 from repro.coherence.protocol import DirectoryProtocol
 from repro.core.machine import MachineConfig
 from repro.core.results import RunResult
-from repro.cpu.events import (
-    STALL_LOCAL,
-    STALL_REMOTE_CLEAN,
-    STALL_REMOTE_DIRTY,
-)
 from repro.cpu.inorder import InOrderCPU
 from repro.cpu.ooo import OutOfOrderCPU
 from repro.integrity.checker import Checker, CheckLevel
@@ -53,7 +58,6 @@ from repro.params import (
     LINE_SIZE,
     TLB_WALK_CYCLES,
     VICTIM_HIT_EXTRA,
-    MissKind,
 )
 from repro.stats.breakdown import (
     ExecutionBreakdown,
@@ -63,14 +67,8 @@ from repro.stats.breakdown import (
     RacStats,
 )
 
-_KIND_TO_STALL = {
-    MissKind.LOCAL: STALL_LOCAL,
-    MissKind.REMOTE_CLEAN: STALL_REMOTE_CLEAN,
-    MissKind.REMOTE_DIRTY: STALL_REMOTE_DIRTY,
-}
-
 #: Replay engines accepted by :class:`System` and :func:`simulate`.
-ENGINES = ("auto", "fast", "general", "vectorized")
+ENGINES = ("auto", "fast", "general", "vectorized", "vectorized-mp")
 
 
 class System:
@@ -161,12 +159,12 @@ class System:
                     "TLB configurations; use engine='general'"
                 )
             return "fast"
-        vector_ok = (
-            not force_general
-            and machine.vectorizable
-            and fault_plan is None
+        run_ok = (
+            fault_plan is None
             and CheckLevel.coerce(check) is not CheckLevel.PER_QUANTUM
         )
+        vector_ok = not force_general and machine.vectorizable and run_ok
+        mp_ok = not force_general and machine.mp_vectorizable and run_ok
         if engine == "vectorized":
             if not vector_ok:
                 raise ConfigError(
@@ -175,9 +173,21 @@ class System:
                     "RAC, fault plan or per-quantum checking"
                 )
             return "vectorized"
+        if engine == "vectorized-mp":
+            if not mp_ok:
+                raise ConfigError(
+                    "engine='vectorized-mp' supports only multi-node "
+                    "machines with one core per node and no victim "
+                    "buffer, TLB, fault plan or per-quantum checking"
+                )
+            return "vectorized-mp"
         if needs_general:
             return "general"
-        return "vectorized" if vector_ok else "fast"
+        if vector_ok:
+            return "vectorized"
+        if mp_ok:
+            return "vectorized-mp"
+        return "fast"
 
     # -- measurement reset at the warmup boundary --------------------------------
 
@@ -201,6 +211,22 @@ class System:
         protocol.writebacks = 0
         protocol.interventions = 0
         net.counters.reset()
+
+    def _measurement_boundary(self, protocol: DirectoryProtocol,
+                              net: InterconnectModel, i_refs, i_miss,
+                              d_refs, d_miss, l2hits, writes,
+                              victimhits=0):
+        """Cross the warmup/measurement boundary, one way for all engines.
+
+        Flushes the engine's run-long accumulators, zeroes every
+        statistic, and returns the fresh ``misses.record`` bound method
+        so engines that cache it can rebind in one step.
+        """
+        self._flush_counters(
+            i_refs, i_miss, d_refs, d_miss, l2hits, writes, victimhits
+        )
+        self._reset_measurement(protocol, net)
+        return self.misses.record
 
     # -- public entry ---------------------------------------------------------------
 
@@ -260,6 +286,8 @@ class System:
             self._run_general(trace, protocol, net)
         elif self.engine == "vectorized":
             self._run_vectorized(trace, protocol, net)
+        elif self.engine == "vectorized-mp":
+            self._run_vectorized_mp(trace, protocol, net)
         else:
             self._run_fast(trace, protocol, net)
 
@@ -292,6 +320,22 @@ class System:
             self.engine = "fast"
             self._run_fast(trace, protocol, net)
 
+    # -- the staged multiprocessor pipeline ----------------------------------------
+
+    def _run_vectorized_mp(self, trace, protocol: DirectoryProtocol,
+                           net: InterconnectModel) -> None:
+        from repro.memsys.vectorized import VectorizedUnsupported
+        from repro.memsys.vectorized_mp import replay_multiprocessor
+
+        try:
+            replay_multiprocessor(self, trace, protocol, net)
+        except VectorizedUnsupported:
+            # Same contract as the uniprocessor kernel: validation
+            # happens before any mutation, so the scalar loop can take
+            # over from pristine state with identical results.
+            self.engine = "fast"
+            self._run_fast(trace, protocol, net)
+
     # -- the optimized common-case loop ------------------------------------------------
 
     def _run_fast(self, trace, protocol: DirectoryProtocol,
@@ -306,7 +350,7 @@ class System:
         handle_eviction = protocol.handle_eviction
         service_latency = net.service_latency
         record_miss = self.misses.record
-        kind_to_stall = _KIND_TO_STALL
+        kind_to_stall = KIND_TO_STALL
         l2_assoc = machine.l2_assoc
         warmup_end = trace.warmup_quanta
 
@@ -324,10 +368,11 @@ class System:
 
         for qi, quantum in enumerate(trace.quanta):
             if qi == warmup_end:
-                self._flush_counters(i_refs, i_miss, d_refs, d_miss, l2hits, writes)
-                self._reset_measurement(protocol, net)
+                record_miss = self._measurement_boundary(
+                    protocol, net, i_refs, i_miss, d_refs, d_miss,
+                    l2hits, writes,
+                )
                 i_refs = i_miss = d_refs = d_miss = l2hits = writes = 0
-                record_miss = self.misses.record
 
             cpu_id = quantum.cpu
             node = nodes[cpu_id]
@@ -480,7 +525,7 @@ class System:
         ooo = machine.cpu_model == "ooo"
         warmup_end = trace.warmup_quanta
         owner_get = protocol.directory._owner.get
-        kind_to_stall = _KIND_TO_STALL
+        kind_to_stall = KIND_TO_STALL
         i_refs = i_miss = d_refs = d_miss = l2hits = victimhits = writes = 0
         # Per-core software-filled TLBs (LRU over physical pages).
         tlb_entries = machine.tlb_entries
@@ -496,10 +541,10 @@ class System:
 
         for qi, quantum in enumerate(trace.quanta):
             if qi == warmup_end:
-                self._flush_counters(
-                    i_refs, i_miss, d_refs, d_miss, l2hits, writes, victimhits
+                self._measurement_boundary(
+                    protocol, net, i_refs, i_miss, d_refs, d_miss,
+                    l2hits, writes, victimhits,
                 )
-                self._reset_measurement(protocol, net)
                 i_refs = i_miss = d_refs = d_miss = l2hits = victimhits = writes = 0
                 # Warmup TLB walks were discarded with the rest of the
                 # warmup cycles; discard their count too.
@@ -568,12 +613,9 @@ class System:
                         i_miss += 1
                     else:
                         d_miss += 1
-                    if level is HierarchyLevel.L2:
-                        l2hits += 1
-                        cpu.stall(lat_l2hit, 0, flags & 8, is_instr)
-                    else:
-                        victimhits += 1
-                        cpu.stall(lat_victim, 0, flags & 8, is_instr)
+                # Ownership upgrades stall before the hit latency, in
+                # the same order as the fast loop — the OOO model is
+                # order-sensitive, so the engines must agree on it.
                 if write and mp and owner_get(line) != node_id:
                     outcome = protocol.ensure_owner(node_id, line)
                     if outcome is not None:
@@ -583,6 +625,12 @@ class System:
                             flags & 8,
                             False,
                         )
+                if level is HierarchyLevel.L2:
+                    l2hits += 1
+                    cpu.stall(lat_l2hit, 0, flags & 8, is_instr)
+                elif level is HierarchyLevel.VICTIM:
+                    victimhits += 1
+                    cpu.stall(lat_victim, 0, flags & 8, is_instr)
 
             if not ooo and q_instr:
                 cpu.busy(q_instr * INSTRS_PER_ILINE, False)

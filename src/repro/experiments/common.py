@@ -82,9 +82,9 @@ class Row:
     result: RunResult
     time_norm: float = 0.0
     miss_norm: float = 0.0
-    #: Replay engine the configuration resolved to ("fast", "general"
-    #: or "vectorized") — provenance for plots and benchmark reports;
-    #: never part of the numbers themselves.
+    #: Replay engine the configuration resolved to ("fast", "general",
+    #: "vectorized" or "vectorized-mp") — provenance for plots and
+    #: benchmark reports; never part of the numbers themselves.
     engine: str = ""
 
     @property

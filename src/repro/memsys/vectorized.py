@@ -39,6 +39,12 @@ with the L1s (list-based, mirroring ``_run_fast`` operation for
 operation).  Out-of-order CPUs are handled by recording the
 (position, l2-hit) event list during the walk and replaying the exact
 ``busy``/``stall`` call sequence against the CPU model afterwards.
+
+Multiprocessor traces are out of scope here: the staged coherence
+pipeline in :mod:`repro.memsys.vectorized_mp` (the ``vectorized-mp``
+engine) extends the same flat-state, exact-by-construction approach
+to directory-coherent machines, and reuses this module's
+``_materialize_l1`` and fallback exception.
 """
 
 from __future__ import annotations

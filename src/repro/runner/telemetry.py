@@ -33,9 +33,10 @@ class JobRecord:
     seconds: float
     source: str  # SOURCE_CACHE or SOURCE_SIMULATED
     #: Replay engine the job's configuration resolves to ("fast",
-    #: "general" or "vectorized").  Provenance only: the engine is not
-    #: part of the job's content hash, because all engines are
-    #: value-identical and cached results stay valid across them.
+    #: "general", "vectorized" or "vectorized-mp").  Provenance only:
+    #: the engine is not part of the job's content hash, because all
+    #: engines are value-identical and cached results stay valid
+    #: across them.
     engine: str = ""
 
     def to_dict(self) -> dict:

@@ -7,7 +7,7 @@ census answers it by rebuilding the trace's address-space model
 (placement is deterministic given the workload config and seed) and
 classifying every physical line back to its region.
 
-Two levels of analysis:
+Three levels of analysis:
 
 * :func:`census` — reference-stream composition per region (touches,
   distinct lines, read/write/instruction mix);
@@ -16,13 +16,27 @@ Two levels of analysis:
   This deliberately ignores L1s and coherence (they do not change
   *which lines* miss much), making it fast and machine-independent
   enough for workload tuning.
+* :func:`sharing_census` — the replay pipeline's pre-pass: classify
+  every line as provably private to one coherence node or potentially
+  shared.  A private line is touched by exactly one node over the
+  *whole* trace (warmup included), so the directory can never send it
+  an invalidation or downgrade; the batched multiprocessor engine
+  (:mod:`repro.memsys.vectorized_mp`) replays such lines without
+  consulting the coherence core at all.  Classification depends only
+  on the *set* of (line, node) pairs, never on interleaving order, so
+  it is stable under any re-interleaving of the trace's quanta — the
+  property tests in ``tests/trace/test_census_properties.py`` enforce
+  both facts.
 """
 
 from __future__ import annotations
 
+import weakref
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
+
+import numpy as np
 
 from repro.core.machine import MachineConfig
 from repro.trace.address_space import MemoryModel
@@ -185,3 +199,134 @@ def attribute_misses(trace: OltpTrace, machine: MachineConfig) -> MissAttributio
                 ways.pop()
             ways.insert(0, line)
     return MissAttribution(machine.label, dict(misses), total, trace.measured_txns)
+
+
+@dataclass
+class SharingCensus:
+    """Flattened per-reference view of a trace plus sharing classes.
+
+    Phase 1 of the staged replay pipeline.  Every array is aligned
+    with the flattened reference stream (all quanta, warmup included,
+    in trace order):
+
+    * ``lines`` / ``flags`` — the unpacked reference stream;
+    * ``nodes`` — issuing coherence node per reference;
+    * ``q_offsets`` — length ``len(quanta) + 1``; quantum *q* owns the
+      half-open slice ``[q_offsets[q], q_offsets[q + 1])``;
+    * ``q_nodes`` — issuing node per quantum;
+    * ``uniq`` / ``uniq_private`` — sorted distinct lines and their
+      classification;
+    * ``private`` — per-reference boolean, True iff the line is only
+      ever touched by a single node.
+
+    The classification is conservative-exact: it is independent of the
+    home map (a private line is private under *any* home assignment),
+    and a line flagged private provably never receives an
+    invalidation, downgrade or intervention from the directory.
+
+    ``derived`` is a scratch cache for engine-side projections of
+    these arrays (python lists, effective flags, per-geometry set
+    indices).  It rides on the census MRU cache so repeated replays of
+    one trace — engine sweeps, benchmark rounds, campaign grids — pay
+    the array-to-list conversions once; it never affects equality or
+    classification.
+    """
+
+    lines: np.ndarray
+    flags: np.ndarray
+    nodes: np.ndarray
+    q_offsets: np.ndarray
+    q_nodes: np.ndarray
+    uniq: np.ndarray
+    uniq_private: np.ndarray
+    private: np.ndarray
+    cores_per_node: int
+    derived: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def is_private(self, line: int) -> bool:
+        """Whether ``line`` is provably private to one node."""
+        i = int(np.searchsorted(self.uniq, line))
+        return (
+            i < len(self.uniq)
+            and int(self.uniq[i]) == line
+            and bool(self.uniq_private[i])
+        )
+
+    def private_lines(self) -> np.ndarray:
+        return self.uniq[self.uniq_private]
+
+    def shared_lines(self) -> np.ndarray:
+        return self.uniq[~self.uniq_private]
+
+
+# Small MRU cache so repeated replays of one trace (engine sweeps,
+# differential tests, per-machine experiment grids) share one census.
+# Same idiom as memsys.vectorized._VIEW_CACHE: identity plus a weakref
+# liveness check, because traces are not hashable.
+_CENSUS_CACHE: List[Tuple[int, int, object, "SharingCensus"]] = []
+_CENSUS_CACHE_SIZE = 2
+
+
+def sharing_census(trace: OltpTrace, cores_per_node: int = 1) -> SharingCensus:
+    """Classify every line in ``trace`` as node-private or shared.
+
+    The scan covers *all* quanta — warmup included — because privacy
+    must hold over the whole replay for the batched engine to skip the
+    coherence core.  Classification is order-insensitive: it depends
+    only on the set of (line, node) pairs, so any re-interleaving of
+    the quanta yields the same result.
+    """
+    for i, (tid, cpn, ref, cached) in enumerate(_CENSUS_CACHE):
+        if tid == id(trace) and cpn == cores_per_node and ref() is trace:
+            if i:
+                _CENSUS_CACHE.insert(0, _CENSUS_CACHE.pop(i))
+            return cached
+
+    parts = [
+        np.frombuffer(q.refs, dtype=np.int64) for q in trace.quanta
+    ]
+    counts = np.array([len(p) for p in parts], dtype=np.int64)
+    refs = (
+        np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+    )
+    lines = refs >> 4
+    flags = refs & 15
+    q_nodes = np.array(
+        [q.cpu // cores_per_node for q in trace.quanta], dtype=np.int64
+    )
+    nodes = np.repeat(q_nodes, counts)
+    q_offsets = np.concatenate(
+        ([0], np.cumsum(counts))
+    ).astype(np.int64)
+
+    if len(lines):
+        order = np.argsort(lines, kind="stable")
+        ls = lines[order]
+        ns = nodes[order]
+        starts = np.flatnonzero(np.r_[True, ls[1:] != ls[:-1]])
+        uniq = ls[starts]
+        nmin = np.minimum.reduceat(ns, starts)
+        nmax = np.maximum.reduceat(ns, starts)
+        uniq_private = nmin == nmax
+        private = uniq_private[np.searchsorted(uniq, lines)]
+    else:
+        uniq = np.empty(0, dtype=np.int64)
+        uniq_private = np.empty(0, dtype=bool)
+        private = np.empty(0, dtype=bool)
+
+    sc = SharingCensus(
+        lines=lines,
+        flags=flags,
+        nodes=nodes,
+        q_offsets=q_offsets,
+        q_nodes=q_nodes,
+        uniq=uniq,
+        uniq_private=uniq_private,
+        private=private,
+        cores_per_node=cores_per_node,
+    )
+    _CENSUS_CACHE.insert(
+        0, (id(trace), cores_per_node, weakref.ref(trace), sc)
+    )
+    del _CENSUS_CACHE[_CENSUS_CACHE_SIZE:]
+    return sc

@@ -1,11 +1,16 @@
-"""Three-engine differential harness.
+"""Multi-engine differential harness.
 
-One parametrized sweep asserting that the three replay engines —
-``_run_fast``, ``_run_general`` and the numpy ``_run_vectorized``
-kernel — produce **equal** ``RunResult.to_dict()`` payloads for every
-uniprocessor configuration in the grid: L2 sizes × associativities ×
-SRAM/DRAM technology × TLB on/off, in-order and out-of-order CPUs,
-with and without a warmup window.
+Parametrized sweeps asserting that the replay engines — ``_run_fast``,
+``_run_general``, the numpy ``_run_vectorized`` kernel and the staged
+``_run_vectorized_mp`` pipeline — produce **equal**
+``RunResult.to_dict()`` payloads wherever their domains overlap.
+
+The uniprocessor grid covers L2 sizes × associativities × SRAM/DRAM
+technology × TLB on/off, in-order and out-of-order CPUs, with and
+without a warmup window.  The multiprocessor grid covers 2/8 nodes ×
+RAC on/off × instruction replication on/off × in-order/OOO, which
+exercises both of the staged pipeline's execution modes (batch and
+stream) and all three of its flat-L2 representations.
 
 Equality of the full serialized result is the contract that lets
 cached campaign results stay valid across engines without a
@@ -50,6 +55,40 @@ def synthetic_trace(seed, *, nquanta=60, nlines=300, warmup=0):
             )
         quanta.append((0, refs))
     return make_trace(1, quanta, page_bytes=PAGE, warmup_quanta=warmup)
+
+
+def synthetic_mp_trace(seed, ncpus, *, nquanta=120, warmup=10,
+                       replicate=False):
+    """Seeded multiprocessor trace mixing per-CPU private working sets,
+    a contended shared pool and (optionally replicated) kernel text, so
+    every sharing class and miss kind shows up in the sweep."""
+    rng = random.Random(seed)
+    page_lines = PAGE // 64
+    text_pages = frozenset(range(1000, 1004)) if replicate else frozenset()
+    quanta = []
+    for _ in range(nquanta):
+        cpu = rng.randrange(ncpus)
+        refs = []
+        for _ in range(rng.randint(4, 60)):
+            instr = rng.random() < 0.3
+            if instr and text_pages and rng.random() < 0.5:
+                line = 1000 * page_lines + rng.randrange(4 * page_lines)
+            elif rng.random() < 0.5:
+                line = 10000 * (cpu + 1) + rng.randrange(250)  # private
+            else:
+                line = 500 + rng.randrange(300)  # shared, contended
+            refs.append(
+                encode(
+                    line,
+                    write=(not instr) and rng.random() < 0.4,
+                    instr=instr,
+                    kernel=rng.random() < 0.2,
+                    dependent=rng.random() < 0.3,
+                )
+            )
+        quanta.append((cpu, refs))
+    return make_trace(ncpus, quanta, page_bytes=PAGE,
+                      warmup_quanta=warmup, text_pages=text_pages)
 
 
 def grid_machine(l2_size, l2_assoc, technology, cpu_model="inorder",
@@ -157,17 +196,105 @@ class TestTlbCells:
         assert grid_machine(4 * KB, 2, L2Technology.OFF_CHIP_SRAM).vectorizable
 
 
+def mp_machine(ncpus, *, rac_size=None, replicate=False,
+               cpu_model="inorder", l2_assoc=4):
+    """One multiprocessor grid cell; scale=1 geometry."""
+    return MachineConfig(
+        label=f"mp-diff n{ncpus} {l2_assoc}w"
+              f"{' rac' if rac_size else ''}{' repl' if replicate else ''}",
+        ncpus=ncpus,
+        integration=IntegrationLevel.L2,
+        l2_size=16 * KB,
+        l2_assoc=l2_assoc,
+        l2_technology=L2Technology.ON_CHIP_SRAM,
+        cpu_model=cpu_model,
+        rac_size=rac_size,
+        replicate_code=replicate,
+        scale=1,
+    )
+
+
+def run_mp_engines(machine, trace):
+    """Replay ``trace`` once per MP-capable engine."""
+    return {
+        engine: System(machine, engine=engine).run(trace).to_dict()
+        for engine in ("fast", "general", "vectorized-mp")
+    }
+
+
+class TestMultiprocessorEquivalence:
+    """The staged pipeline's differential cells: 2/8 nodes × RAC ×
+    instruction replication × in-order/OOO."""
+
+    @pytest.mark.parametrize("cpu_model", ["inorder", "ooo"])
+    @pytest.mark.parametrize("replicate", [False, True],
+                             ids=["plain", "repl"])
+    @pytest.mark.parametrize("rac", [None, 256 * KB],
+                             ids=["norac", "rac"])
+    @pytest.mark.parametrize("ncpus", [2, 8])
+    def test_runresults_identical(self, ncpus, rac, replicate, cpu_model):
+        machine = mp_machine(ncpus, rac_size=rac, replicate=replicate,
+                             cpu_model=cpu_model)
+        trace = synthetic_mp_trace(9, ncpus, replicate=replicate)
+        results = run_mp_engines(machine, trace)
+        assert results["vectorized-mp"] == results["fast"]
+        assert results["fast"] == results["general"]
+
+    @pytest.mark.parametrize("l2_assoc", [1, 2, 8],
+                             ids=lambda a: f"{a}w")
+    def test_runresults_identical_across_l2_modes(self, l2_assoc):
+        """Direct-mapped, overflowing and no-evict L2 footprints pick
+        different flat representations; all must stay exact."""
+        machine = mp_machine(4, l2_assoc=l2_assoc)
+        trace = synthetic_mp_trace(21, 4)
+        results = run_mp_engines(machine, trace)
+        assert results["vectorized-mp"] == results["fast"]
+        assert results["fast"] == results["general"]
+
+    def test_no_warmup_boundary(self):
+        machine = mp_machine(2)
+        trace = synthetic_mp_trace(13, 2, warmup=0)
+        results = run_mp_engines(machine, trace)
+        assert results["vectorized-mp"] == results["fast"]
+
+    def test_end_of_run_checker_accepts_reconstructed_state(self):
+        """The engine rebuilds directory entries for private lines at
+        the end of the run; the integrity checker must see a state
+        indistinguishable from the scalar loop's."""
+        machine = mp_machine(8)
+        trace = synthetic_mp_trace(9, 8)
+        a = System(machine, engine="vectorized-mp",
+                   check="end-of-run").run(trace).to_dict()
+        b = System(machine, engine="fast",
+                   check="end-of-run").run(trace).to_dict()
+        assert a == b
+
+    def test_auto_selection_matches_forced(self):
+        machine = mp_machine(8)
+        trace = synthetic_mp_trace(9, 8)
+        auto_sys = System(machine)
+        assert auto_sys.engine == "vectorized-mp"
+        auto = auto_sys.run(trace).to_dict()
+        assert auto == System(machine, engine="fast").run(trace).to_dict()
+
+
 class TestEngineSelection:
     def test_engines_tuple_is_the_contract(self):
-        assert ENGINES == ("auto", "fast", "general", "vectorized")
+        assert ENGINES == ("auto", "fast", "general", "vectorized",
+                           "vectorized-mp")
         with pytest.raises(ConfigError):
             System.select_engine(MachineConfig.base(1), engine="turbo")
 
     def test_uniprocessor_auto_selects_vectorized(self):
         assert System.select_engine(MachineConfig.base(1)) == "vectorized"
 
-    def test_multiprocessor_auto_selects_fast(self):
-        assert System.select_engine(MachineConfig.base(8)) == "fast"
+    def test_multiprocessor_auto_selects_vectorized_mp(self):
+        assert System.select_engine(MachineConfig.base(8)) == "vectorized-mp"
+
+    def test_vectorized_mp_refuses_uniprocessor(self):
+        with pytest.raises(ConfigError):
+            System.select_engine(MachineConfig.base(1),
+                                 engine="vectorized-mp")
 
     def test_per_quantum_checking_vetoes_vectorized(self):
         machine = MachineConfig.base(1)
@@ -176,8 +303,19 @@ class TestEngineSelection:
             System.select_engine(machine, check="per-quantum",
                                  engine="vectorized")
 
+    def test_per_quantum_checking_vetoes_vectorized_mp(self):
+        machine = MachineConfig.base(8)
+        assert System.select_engine(machine, check="per-quantum") == "fast"
+        with pytest.raises(ConfigError):
+            System.select_engine(machine, check="per-quantum",
+                                 engine="vectorized-mp")
+
     def test_fault_plan_vetoes_vectorized(self):
         machine = MachineConfig.base(1)
+        assert System.select_engine(machine, fault_plan=object()) == "fast"
+
+    def test_fault_plan_vetoes_vectorized_mp(self):
+        machine = MachineConfig.base(8)
         assert System.select_engine(machine, fault_plan=object()) == "fast"
 
     def test_engine_is_not_part_of_job_identity(self):

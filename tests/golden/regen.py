@@ -25,14 +25,16 @@ from pathlib import Path
 
 from repro.core.machine import MachineConfig
 from repro.core.system import simulate
+from repro.params import MB
 from repro.trace.generator import OltpTrace, build_trace
 from repro.trace.synthetic import make_trace
 
 HERE = Path(__file__).resolve().parent
 
-#: The two frozen workloads: tiny OLTP runs, one uniprocessor (replayed
-#: by the vectorized engine under auto-selection) and one 2-CPU
-#: multiprocessor (fast engine, full coherence).
+#: The frozen workloads: tiny OLTP runs — one uniprocessor (replayed
+#: by the vectorized engine under auto-selection), one 2-CPU
+#: multiprocessor (staged pipeline, full coherence) and one 8-node
+#: RAC configuration (the pipeline's stream mode).
 CASES = {
     "uni": {
         "machine": lambda: MachineConfig.base(1, scale=128),
@@ -43,6 +45,13 @@ CASES = {
         "machine": lambda: MachineConfig.fully_integrated(2, scale=128),
         "trace": lambda: build_trace(ncpus=2, scale=128, txns=16,
                                      warmup_txns=30, seed=43),
+    },
+    "mp8rac": {
+        "machine": lambda: MachineConfig.fully_integrated(
+            8, scale=128, rac_size=8 * MB
+        ),
+        "trace": lambda: build_trace(ncpus=8, scale=128, txns=24,
+                                     warmup_txns=30, seed=47),
     },
 }
 

@@ -41,10 +41,22 @@ def test_golden_runresult_exact(name):
 
 
 def test_golden_uni_identical_across_engines():
-    """The frozen uniprocessor expectation holds for all three
-    engines, not just the auto-selected one."""
+    """The frozen uniprocessor expectation holds for all
+    uniprocessor-capable engines, not just the auto-selected one."""
     machine, trace, expected = load_case("uni")
     for engine in ("fast", "general", "vectorized"):
+        got = System(machine, engine=engine).run(trace).to_dict()
+        assert got == expected, f"engine={engine}: {REGEN_HINT}"
+
+
+@pytest.mark.parametrize("name", ["mp", "mp8rac"])
+def test_golden_mp_identical_across_engines(name):
+    """The frozen multiprocessor expectations hold bit-for-bit for
+    every MP-capable engine — in particular the staged
+    ``vectorized-mp`` pipeline must reproduce the scalar engines'
+    payloads exactly (the mp8rac case exercises its stream mode)."""
+    machine, trace, expected = load_case(name)
+    for engine in ("fast", "general", "vectorized-mp"):
         got = System(machine, engine=engine).run(trace).to_dict()
         assert got == expected, f"engine={engine}: {REGEN_HINT}"
 

@@ -1,0 +1,91 @@
+"""White-box tests for the batched MP engine's flat state.
+
+The differential and golden suites pin the engine end-to-end; these
+tests pin the pieces that full replays cannot reach — in particular
+the stale-ownership recovery branch of the inline coherence
+transcription, which mirrors ``DirectoryProtocol.service_miss``'s
+defensive path and is unreachable from well-formed traces (evictions
+always notify the directory first).
+"""
+
+import pytest
+
+from repro.memsys.vectorized_mp import (
+    MODE_ASSOC,
+    MODE_DM,
+    MODE_SET,
+    _NodeState,
+    _walk_assoc,
+    _walk_dm,
+    _walk_set,
+)
+
+L1_N = 4
+L2_N = 8
+ASSOC = 2
+
+# A data read (flags 0) to line 9 by node 0; the census marked the
+# line shared (no EFF_PRIVATE bit) with a remote home (no EFF_LOCAL).
+LINE = 9
+REMOTE_READ = 0
+
+
+def _states(mode):
+    return [_NodeState(mode, L1_N, L2_N, ASSOC) for _ in range(2)]
+
+
+def _walk(mode, states, dsh, down):
+    L, E, S1 = [LINE], [REMOTE_READ], [LINE % L1_N]
+    if mode == MODE_SET:
+        return _walk_set(L, E, S1, 0, states, dsh, down)
+    S2 = [LINE % L2_N]
+    walk = _walk_dm if mode == MODE_DM else _walk_assoc
+    return walk(L, E, S1, S2, 0, states, dsh, down)
+
+
+@pytest.mark.parametrize("mode", [MODE_SET, MODE_DM, MODE_ASSOC])
+def test_stale_ownership_recovers_like_the_protocol(mode):
+    """A stale self-owner entry (impossible via the walks themselves)
+    must not be treated as a remote owner; the miss is serviced as
+    ownerless — exactly ``service_miss``'s recovery semantics.  With
+    no sharer set the owner entry survives, mirroring
+    ``DirectoryState.remove_node``'s early return."""
+    states = _states(mode)
+    dsh = {}
+    down = {LINE: 0}  # stale: node 0 "owns" a line it does not hold
+    res = _walk(mode, states, dsh, down)
+    i_l1m, d_l1m, l2h = res[:3]
+    mc_d = res[12]
+    intervs = res[18]
+    assert d_l1m == 1 and i_l1m == 0 and l2h == 0
+    assert intervs == 0, "stale entry must not look like a remote owner"
+    assert mc_d == 1, "recovered miss is serviced as ownerless"
+    assert dsh == {LINE: {0}} and down == {LINE: 0}
+    assert states[0].holds(LINE) and not states[1].holds(LINE)
+
+
+@pytest.mark.parametrize("mode", [MODE_SET, MODE_DM, MODE_ASSOC])
+def test_stale_owner_with_sharers_drops_only_the_requester(mode):
+    """When a sharer set survives alongside the stale owner entry, the
+    recovery removes the requester (and the owner record) and keeps
+    the other sharers."""
+    states = _states(mode)
+    dsh = {LINE: {0, 1}}
+    down = {LINE: 0}
+    _walk(mode, states, dsh, down)
+    assert dsh == {LINE: {0, 1}}  # 1 kept; 0 re-added by the fill
+    assert down == {}
+
+
+def test_invalidate_uses_the_membership_set_in_assoc_mode():
+    """ASSOC-mode invalidate must keep the flat membership set and the
+    per-set LRU lists in lockstep, and report dirtiness once."""
+    st = _NodeState(MODE_ASSOC, L1_N, L2_N, ASSOC)
+    st.sets2[LINE % L2_N].insert(0, LINE)
+    st.resident.add(LINE)
+    st.dirty.add(LINE)
+    assert st.holds(LINE)
+    assert st.invalidate(LINE) is True  # dirty data lost
+    assert not st.holds(LINE)
+    assert LINE not in st.sets2[LINE % L2_N]
+    assert st.invalidate(LINE) is False  # idempotent, nothing held

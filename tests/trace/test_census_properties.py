@@ -1,0 +1,130 @@
+"""Property tests for the sharing-census classifier.
+
+The staged multiprocessor engine's exactness rests on two guarantees
+of :func:`repro.trace.census.sharing_census`, which these hypothesis
+suites enforce directly on randomly generated traces:
+
+* **soundness** — a line classified private is never touched by a
+  second node anywhere in the replayed trace (warmup included), and a
+  line touched by two nodes is never classified private;
+* **interleaving stability** — classification depends only on the set
+  of (line, node) pairs, so any re-interleaving of the trace's quanta
+  yields the identical classification.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.events import encode
+from repro.trace.census import sharing_census
+from repro.trace.synthetic import make_trace
+
+NCPUS = 4
+
+
+@st.composite
+def trace_shapes(draw):
+    """A small multiprocessor trace: (cpu, [packed refs]) quanta over a
+    line space narrow enough to force both private and shared lines."""
+    nquanta = draw(st.integers(min_value=1, max_value=12))
+    quanta = []
+    for _ in range(nquanta):
+        cpu = draw(st.integers(min_value=0, max_value=NCPUS - 1))
+        nrefs = draw(st.integers(min_value=0, max_value=12))
+        refs = []
+        for _ in range(nrefs):
+            line = draw(st.integers(min_value=0, max_value=40))
+            refs.append(
+                encode(
+                    line,
+                    write=draw(st.booleans()),
+                    instr=draw(st.booleans()),
+                    kernel=draw(st.booleans()),
+                )
+            )
+        quanta.append((cpu, refs))
+    return quanta
+
+
+def build(quanta, warmup=0):
+    return make_trace(NCPUS, quanta, page_bytes=256, warmup_quanta=warmup)
+
+
+class TestPrivateSoundness:
+    @given(quanta=trace_shapes())
+    @settings(max_examples=120, deadline=None)
+    def test_private_line_has_exactly_one_toucher(self, quanta):
+        sc = sharing_census(build(quanta))
+        touchers = defaultdict(set)
+        for cpu, refs in quanta:
+            for ref in refs:
+                touchers[ref >> 4].add(cpu)
+        for line, nodes in touchers.items():
+            assert sc.is_private(line) == (len(nodes) == 1), (
+                f"line {line} touched by {sorted(nodes)} classified "
+                f"{'private' if sc.is_private(line) else 'shared'}"
+            )
+
+    @given(quanta=trace_shapes())
+    @settings(max_examples=60, deadline=None)
+    def test_per_reference_mask_matches_line_class(self, quanta):
+        sc = sharing_census(build(quanta))
+        for i in range(len(sc.lines)):
+            assert bool(sc.private[i]) == sc.is_private(int(sc.lines[i]))
+
+    @given(quanta=trace_shapes())
+    @settings(max_examples=60, deadline=None)
+    def test_census_covers_warmup_quanta(self, quanta):
+        """Privacy must hold over the whole trace, not just the
+        measured window — a warmup-only second toucher still makes a
+        line shared."""
+        warmup = min(len(quanta) - 1, 1) if len(quanta) > 1 else 0
+        sc = sharing_census(build(quanta, warmup=warmup))
+        assert len(sc.lines) == sum(len(refs) for _, refs in quanta)
+
+    @given(quanta=trace_shapes())
+    @settings(max_examples=60, deadline=None)
+    def test_partition_is_exhaustive(self, quanta):
+        sc = sharing_census(build(quanta))
+        every = set(np.asarray(sc.uniq).tolist())
+        assert every == set(np.asarray(sc.private_lines()).tolist()) | set(
+            np.asarray(sc.shared_lines()).tolist()
+        )
+
+
+class TestInterleavingStability:
+    @given(quanta=trace_shapes(), data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_classification_stable_under_permutation(self, quanta, data):
+        perm = data.draw(st.permutations(range(len(quanta))))
+        base = sharing_census(build(quanta))
+        shuffled = sharing_census(build([quanta[i] for i in perm]))
+        assert np.array_equal(base.uniq, shuffled.uniq)
+        assert np.array_equal(base.uniq_private, shuffled.uniq_private)
+
+    @given(quanta=trace_shapes())
+    @settings(max_examples=60, deadline=None)
+    def test_reversal_preserves_classification(self, quanta):
+        base = sharing_census(build(quanta))
+        rev = sharing_census(build(list(reversed(quanta))))
+        assert np.array_equal(base.uniq, rev.uniq)
+        assert np.array_equal(base.uniq_private, rev.uniq_private)
+
+
+class TestCensusCache:
+    def test_same_trace_object_is_cached(self):
+        trace = build([(0, [encode(1), encode(2)]), (1, [encode(2)])])
+        assert sharing_census(trace) is sharing_census(trace)
+
+    def test_cores_per_node_is_part_of_the_key(self):
+        trace = build([(0, [encode(1)]), (1, [encode(1)])])
+        by_node = sharing_census(trace, cores_per_node=1)
+        by_chip = sharing_census(trace, cores_per_node=2)
+        assert by_node is not by_chip
+        # CPUs 0 and 1 fold onto one node at two cores per node, so
+        # the contended line becomes private to that node.
+        assert not by_node.is_private(1)
+        assert by_chip.is_private(1)
