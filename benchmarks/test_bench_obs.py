@@ -1,0 +1,117 @@
+"""Observability overhead benchmark: the zero-overhead contract.
+
+Replays the fig5 uniprocessor sweep (the same nine off-chip L2
+geometries ``test_bench_vector`` times) through the vectorized engine
+twice — once with observability disabled (the default null tracer and
+registry: what every plain figure run pays) and once with a live
+tracer *and* metrics registry installed — and records both timings to
+``BENCH_obs.json`` (override with ``BENCH_OBS_OUT``).
+
+Two numbers matter:
+
+* ``disabled_vs_baseline`` — disabled-observability seconds against
+  the ``vectorized_seconds`` recorded in ``BENCH_vector.json`` before
+  the instrumentation existed.  This is the contract the hot loops
+  must honour: observability *off* may cost less than
+  ``OVERHEAD_LIMIT`` (5%) over the uninstrumented engine, because a
+  disabled site is one attribute lookup / one ``is not None`` test.
+  Asserted here and by CI against the written payload.
+* ``enabled_overhead`` — enabled vs disabled, recorded for the DESIGN
+  notes (spans are per-phase aggregates, so even enabled runs stay
+  cheap); not asserted, it is allowed to grow with instrumentation.
+
+Measurement protocol matches ``test_bench_vector``: one untimed
+warmup round per mode, then the per-config minimum over ``ROUNDS``
+timed rounds.  The enabled run doubles as a value-identity check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.system import System
+from repro.experiments import offchip
+from repro.experiments.common import get_trace
+from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
+
+OUT = os.environ.get("BENCH_OBS_OUT", "BENCH_obs.json")
+BASELINE = os.environ.get("BENCH_VECTOR_OUT", "BENCH_vector.json")
+ROUNDS = 3
+OVERHEAD_LIMIT = 1.05
+
+
+def _replay(machine, trace):
+    start = time.perf_counter()
+    result = System(machine, engine="vectorized").run(trace)
+    return time.perf_counter() - start, result
+
+
+def _sweep(configs, trace):
+    """Min-of-rounds seconds per config, plus the last results."""
+    best, results = {}, {}
+    for label, machine in configs:  # untimed warmup round
+        _replay(machine, trace)
+    for _ in range(ROUNDS):
+        for label, machine in configs:
+            seconds, result = _replay(machine, trace)
+            prev = best.get(label)
+            if prev is None or seconds < prev:
+                best[label] = seconds
+            results[label] = result
+    return best, results
+
+
+def test_bench_observability_overhead(settings, warmed_traces):
+    trace = get_trace(1, settings)
+    configs = offchip.sweep_configs(1, settings.scale)
+
+    disabled_best, disabled_results = _sweep(configs, trace)
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(registry):
+        enabled_best, enabled_results = _sweep(configs, trace)
+
+    # Observational contract: tracing+metrics change no simulated value.
+    for label, _ in configs:
+        assert (enabled_results[label].to_dict()
+                == disabled_results[label].to_dict()), label
+    assert tracer.spans, "enabled run recorded no spans"
+
+    disabled_total = sum(disabled_best.values())
+    enabled_total = sum(enabled_best.values())
+
+    baseline_seconds = None
+    if os.path.exists(BASELINE):
+        with open(BASELINE, encoding="utf-8") as fh:
+            baseline_seconds = json.load(fh).get("vectorized_seconds")
+
+    payload = {
+        "figure": "fig5",
+        "engine": "vectorized",
+        "settings": "paper",
+        "cpu_count": os.cpu_count(),
+        "rounds": ROUNDS,
+        "trace_refs": trace.total_refs,
+        "disabled_seconds": round(disabled_total, 4),
+        "enabled_seconds": round(enabled_total, 4),
+        "enabled_overhead": round(enabled_total / disabled_total, 4),
+        "baseline_seconds": baseline_seconds,
+        "disabled_vs_baseline": (
+            round(disabled_total / baseline_seconds, 4)
+            if baseline_seconds else None
+        ),
+        "overhead_limit": OVERHEAD_LIMIT,
+    }
+    with open(OUT, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+    if baseline_seconds:
+        ratio = disabled_total / baseline_seconds
+        assert ratio < OVERHEAD_LIMIT, (
+            f"observability-disabled fig5 sweep {disabled_total:.3f}s is "
+            f"{ratio:.3f}x the {baseline_seconds:.3f}s pre-instrumentation "
+            f"baseline (limit {OVERHEAD_LIMIT}x)"
+        )

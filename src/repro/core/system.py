@@ -52,6 +52,7 @@ from repro.integrity.checker import Checker, CheckLevel
 from repro.integrity.errors import ConfigError, StateError, TraceMismatchError
 from repro.memsys.hierarchy import HierarchyLevel, NodeCaches
 from repro.memsys.rac import RemoteAccessCache
+from repro.obs import NULL_TRACER, current_metrics, current_tracer
 from repro.params import (
     INSTRS_PER_ILINE,
     L1_ASSOC,
@@ -129,6 +130,11 @@ class System:
         self.writes = 0
         self.protocol: Optional[DirectoryProtocol] = None
         self._ran = False
+        # Observability: bound per-run by run() from the process-wide
+        # tracer/metrics.  The null defaults keep every engine's
+        # instrumentation site a no-op when observability is off.
+        self._tracer = NULL_TRACER
+        self._sampler = None
 
     # -- engine selection ---------------------------------------------------------
 
@@ -273,6 +279,19 @@ class System:
             raise StateError("System instances are single-use; build a new one")
         self._ran = True
 
+        tracer = self._tracer = current_tracer()
+        metrics = current_metrics()
+        if metrics.enabled and self.engine != "vectorized":
+            # The vectorized uniprocessor kernel replays out of trace
+            # order (batched by structure, not by quantum), so it has
+            # no per-quantum sampling point; it reports end-of-run
+            # aggregates only.
+            self._sampler = metrics.new_series(
+                label=machine.label, engine=self.engine,
+                ncpus=machine.ncpus, num_nodes=machine.num_nodes,
+                l2_bytes=machine.scaled_l2_size, l2_assoc=machine.l2_assoc,
+            )
+
         replicated = None
         if machine.replicate_code:
             text_pages = trace.text_pages
@@ -282,22 +301,25 @@ class System:
         protocol = self.protocol = DirectoryProtocol(homemap, self.nodes, self.racs)
         net = InterconnectModel(machine.latencies)
 
-        if self.engine == "general":
-            self._run_general(trace, protocol, net)
-        elif self.engine == "vectorized":
-            self._run_vectorized(trace, protocol, net)
-        elif self.engine == "vectorized-mp":
-            self._run_vectorized_mp(trace, protocol, net)
-        else:
-            self._run_fast(trace, protocol, net)
+        with tracer.span("system.run", label=machine.label,
+                         engine=self.engine, ncpus=machine.ncpus):
+            with tracer.span(f"engine.{self.engine}"):
+                if self.engine == "general":
+                    self._run_general(trace, protocol, net)
+                elif self.engine == "vectorized":
+                    self._run_vectorized(trace, protocol, net)
+                elif self.engine == "vectorized-mp":
+                    self._run_vectorized_mp(trace, protocol, net)
+                else:
+                    self._run_fast(trace, protocol, net)
 
-        for cpu in self.cpus:
-            cpu.drain()
-        if self.checker.enabled:
-            self.checker.check_system(self, protocol)
-        result = self._collect(trace, protocol, net)
-        if self.checker.enabled:
-            result.verify()
+            for cpu in self.cpus:
+                cpu.drain()
+            if self.checker.enabled:
+                self.checker.check_system(self, protocol)
+            result = self._collect(trace, protocol, net)
+            if self.checker.enabled:
+                result.verify()
         return result
 
     # -- the vectorized uniprocessor kernel ----------------------------------------
@@ -359,6 +381,10 @@ class System:
         # Integrity hooks fire only at quantum boundaries, so the
         # per-reference path below stays branch-free when disabled.
         checker = self.checker if self.checker.per_quantum else None
+        # Metrics likewise: one None test per quantum when disabled.
+        sampler = self._sampler
+        racs = self.racs
+        dir_sharers = protocol.directory._sharers
         plan = self.fault_plan if (
             self.fault_plan is not None and not self.fault_plan.applied
         ) else None
@@ -508,6 +534,14 @@ class System:
                     plan = None
             if checker is not None:
                 checker.check_system(self, protocol)
+            if sampler is not None and qi >= warmup_end:
+                if racs is not None:
+                    rp = sum(r.probes for r in racs)
+                    rh = sum(r.hits for r in racs)
+                else:
+                    rp = rh = 0
+                sampler.sample(qi, self.misses, i_refs, len(dir_sharers),
+                               rp, rh)
 
         if plan is not None:
             plan.apply(self, protocol)
@@ -534,6 +568,9 @@ class System:
         tlbs = [OrderedDict() for _ in range(machine.ncpus)] if tlb_entries else None
         tlb_miss_count = 0
         checker = self.checker if self.checker.per_quantum else None
+        sampler = self._sampler
+        racs = self.racs
+        dir_sharers = protocol.directory._sharers
         plan = self.fault_plan if (
             self.fault_plan is not None and not self.fault_plan.applied
         ) else None
@@ -644,6 +681,14 @@ class System:
                     plan = None
             if checker is not None:
                 checker.check_system(self, protocol)
+            if sampler is not None and qi >= warmup_end:
+                if racs is not None:
+                    rp = sum(r.probes for r in racs)
+                    rh = sum(r.hits for r in racs)
+                else:
+                    rp = rh = 0
+                sampler.sample(qi, self.misses, i_refs, len(dir_sharers),
+                               rp, rh)
 
         if plan is not None:
             plan.apply(self, protocol)

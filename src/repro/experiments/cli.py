@@ -6,6 +6,8 @@ Usage::
     repro-oltp all --quick         # smoke-run every figure
     repro-oltp fig10 --scale 16    # bigger (slower, higher-fidelity) run
     repro-oltp campaign --jobs 4   # all figures, parallel, result-cached
+    repro-oltp profile fig6        # figure + self-time table + Chrome trace
+    repro-oltp fig8 --metrics-out fig8.json   # per-quantum metric series
 """
 
 from __future__ import annotations
@@ -30,10 +32,22 @@ from repro.experiments.common import Settings
 from repro.experiments.export import write_figure_csv
 from repro.experiments.report import render
 from repro.integrity import ReproError
+from repro.obs import (
+    NULL_METRICS,
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    render_self_time,
+    use_metrics,
+    use_tracer,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_json,
+)
 from repro.runner import JobFailed
 
 FIGURES = ("fig3", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13")
-EXTRAS = ("ablations", "selftest", "campaign")
+EXTRAS = ("ablations", "selftest", "campaign", "profile")
 
 
 def _settings(args: argparse.Namespace) -> Settings:
@@ -112,6 +126,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("figure", choices=FIGURES + EXTRAS + ("all",),
                         help="which figure (or extra study) to reproduce")
+    parser.add_argument("target", nargs="?", default=None,
+                        help="figure to profile (for the 'profile' verb)")
     parser.add_argument("--scale", type=int, default=0,
                         help="workload/cache scale-down factor (default 32)")
     parser.add_argument("--uni-txns", type=int, default=0,
@@ -138,11 +154,34 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="campaign: disable the on-disk result cache")
     parser.add_argument("--no-progress", action="store_true",
                         help="campaign: suppress per-job progress lines")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write a Chrome trace-event JSON of the run "
+                             "(load in Perfetto or chrome://tracing)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the run's metrics and per-quantum "
+                             "series (.csv suffix selects CSV, else JSON)")
     args = parser.parse_args(argv)
+
+    if args.figure == "profile":
+        if args.target not in FIGURES:
+            parser.error(
+                "profile needs a figure to profile, e.g. 'profile fig6' "
+                f"(choose from {', '.join(FIGURES)})"
+            )
+    elif args.target is not None:
+        parser.error("a target figure only applies to the 'profile' verb")
 
     settings = _settings(args)
     completed: List[str] = []
-    try:
+    profiling = args.figure == "profile"
+    # Observability is opt-in per invocation: the profile verb and the
+    # --trace-out/--metrics-out flags install a real tracer/registry;
+    # everything else runs against the zero-overhead null objects.
+    want_obs = bool(profiling or args.trace_out or args.metrics_out)
+    tracer = Tracer() if want_obs else NULL_TRACER
+    registry = MetricsRegistry() if want_obs else NULL_METRICS
+
+    def dispatch() -> int:
         if args.figure == "campaign":
             report = run_campaign(
                 FIGURES,
@@ -166,13 +205,42 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(report.render())
             return 0 if report.passed else 1
 
-        names = FIGURES if args.figure == "all" else (args.figure,)
+        if profiling:
+            names = (args.target,)
+        elif args.figure == "all":
+            names = FIGURES
+        else:
+            names = (args.figure,)
         for name in names:
             start = time.time()
-            print(run_figure(name, settings, chart=args.chart, csv_dir=args.csv))
+            print(run_figure(name, settings, chart=args.chart,
+                             csv_dir=args.csv))
             print(f"[{name} took {time.time() - start:.1f}s]")
             print()
             completed.append(name)
+        return 0
+
+    try:
+        wall_start = time.perf_counter()
+        with use_tracer(tracer), use_metrics(registry):
+            code = dispatch()
+        wall = time.perf_counter() - wall_start
+        if want_obs:
+            trace_path = args.trace_out
+            if profiling and not trace_path:
+                trace_path = f"profile-{args.target}.trace.json"
+            if profiling:
+                print(render_self_time(tracer.spans, wall))
+            if trace_path:
+                write_chrome_trace(tracer.spans, trace_path)
+                print(f"[chrome trace: {trace_path}]")
+            if args.metrics_out:
+                if args.metrics_out.endswith(".csv"):
+                    write_metrics_csv(registry, args.metrics_out)
+                else:
+                    write_metrics_json(registry, args.metrics_out)
+                print(f"[metrics: {args.metrics_out}]")
+        return code
     except KeyboardInterrupt:
         done = ", ".join(completed) if completed else "none"
         print(f"\nrepro-oltp: interrupted; figures completed: {done}",
@@ -185,7 +253,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"repro-oltp: internal error ({type(exc).__name__}): {exc}",
               file=sys.stderr)
         return 1
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -38,6 +38,7 @@ import enum
 from typing import Set, Union
 
 from repro.integrity.errors import ConfigError, InvariantViolation
+from repro.obs import current_metrics, current_tracer
 
 
 class CheckLevel(enum.Enum):
@@ -85,20 +86,36 @@ class Checker:
     # -- entry point -------------------------------------------------------
 
     def check_system(self, system, protocol) -> None:
-        """Walk all cache, victim-buffer, RAC and directory state."""
-        nodes = system.nodes
-        racs = system.racs
-        for node_id, node in enumerate(nodes):
-            for cache in (*node.l1is, *node.l1ds, node.l2):
-                self._check_cache_structure(node_id, cache)
-            self._check_inclusion(node_id, node)
-            if node.victim is not None:
-                self._check_victim(node_id, node)
-            if racs is not None:
-                self._check_cache_structure(node_id, racs[node_id].cache)
-                self._check_rac_exclusion(node_id, racs[node_id], protocol.homemap)
-        self._check_directory_agreement(system, protocol)
+        """Walk all cache, victim-buffer, RAC and directory state.
+
+        Each walk opens one ``integrity.check`` span tagged with the
+        checking tier and bumps ``integrity.checks_run`` on success /
+        ``integrity.violations`` on the first violated invariant
+        (re-raised unchanged), so campaign metrics show how much
+        verification ran and whether it ever fired.
+        """
+        metrics = current_metrics()
+        with current_tracer().span("integrity.check", tier=self.level.value):
+            nodes = system.nodes
+            racs = system.racs
+            try:
+                for node_id, node in enumerate(nodes):
+                    for cache in (*node.l1is, *node.l1ds, node.l2):
+                        self._check_cache_structure(node_id, cache)
+                    self._check_inclusion(node_id, node)
+                    if node.victim is not None:
+                        self._check_victim(node_id, node)
+                    if racs is not None:
+                        self._check_cache_structure(
+                            node_id, racs[node_id].cache)
+                        self._check_rac_exclusion(
+                            node_id, racs[node_id], protocol.homemap)
+                self._check_directory_agreement(system, protocol)
+            except InvariantViolation:
+                metrics.count("integrity.violations")
+                raise
         self.checks_run += 1
+        metrics.count("integrity.checks_run")
 
     # -- per-cache structural invariants -----------------------------------
 

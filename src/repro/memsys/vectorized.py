@@ -50,6 +50,7 @@ to directory-coherent machines, and reuses this module's
 from __future__ import annotations
 
 import weakref
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -1257,10 +1258,19 @@ def replay_uniprocessor(system, trace, protocol, net) -> None:
     ooo = machine.cpu_model == "ooo"
     lat = machine.latencies
 
+    # Observability: the kernel has no quantum loop (it replays out of
+    # trace order), so it publishes three synthetic phase spans from
+    # perf_counter checkpoints instead of live nested spans — and pays
+    # nothing when tracing is disabled.
+    tracer = system._tracer
+    traced = tracer.enabled
+    t_start = perf_counter() if traced else 0.0
+
     tv = _view_for(trace)
     if tv.n == 0:
         return
     lv = tv.l1view(l1_n)
+    t_views = perf_counter() if traced else 0.0
 
     ia = [-1] * l1_n
     ib = [-1] * l1_n
@@ -1404,6 +1414,8 @@ def replay_uniprocessor(system, trace, protocol, net) -> None:
             if w:
                 owner[line] = 0
 
+    t_walk = perf_counter() if traced else 0.0
+
     _materialize_l1(l1i, ia, ib)
     _materialize_l1(l1d, da, db)
 
@@ -1434,3 +1446,9 @@ def replay_uniprocessor(system, trace, protocol, net) -> None:
         cpu.kernel_busy_cycles = tv.kinstr_m * INSTRS_PER_ILINE
         cpu.stall_cycles[0] = l2_hits * lat.l2_hit
         cpu.stall_cycles[1] = l2_misses * lat.local
+
+    if traced:
+        t_end = perf_counter()
+        tracer.add_span("uni.views", t_start, t_views - t_start)
+        tracer.add_span("uni.walk", t_views, t_walk - t_views)
+        tracer.add_span("uni.finalize", t_walk, t_end - t_walk)

@@ -53,6 +53,7 @@ mutating any state*, and ``System`` falls back to the scalar loop.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List
 
 import numpy as np
@@ -970,34 +971,48 @@ def replay_multiprocessor(system, trace, protocol, net) -> None:
     warmup_end = trace.warmup_quanta
     cpus = system.cpus
 
-    sc = sharing_census(trace, machine.cores_per_node)
-    q_off = sc.q_offsets
-    flags = sc.flags
-    lines = sc.lines
+    # Observability: spans and the per-quantum sampler are bound by
+    # System.run; both default to inert objects, so the hot loops pay
+    # one flag test per phase segment (tracing) and one None test per
+    # quantum (metrics) when disabled.
+    tracer = system._tracer
+    traced = tracer.enabled
+    sampler = system._sampler
 
-    def _build_base():
-        return (
-            sc.q_nodes.tolist(),
-            _per_quantum_counts((flags & 2) != 0, q_off),
-            _per_quantum_counts((flags & 6) == 6, q_off),
-            _per_quantum_counts((flags & 3) == 1, q_off),
-            (q_off[1:] - q_off[:-1]).tolist(),
-            q_off[:-1].tolist(),
-            lines.tolist(),
+    with tracer.span("mp.census", refs=trace.total_refs):
+        sc = sharing_census(trace, machine.cores_per_node)
+        q_off = sc.q_offsets
+        flags = sc.flags
+        lines = sc.lines
+
+        def _build_base():
+            return (
+                sc.q_nodes.tolist(),
+                _per_quantum_counts((flags & 2) != 0, q_off),
+                _per_quantum_counts((flags & 6) == 6, q_off),
+                _per_quantum_counts((flags & 3) == 1, q_off),
+                (q_off[1:] - q_off[:-1]).tolist(),
+                q_off[:-1].tolist(),
+                lines.tolist(),
+            )
+
+        (q_nodes, n_i_q, n_ki_q, n_w_q,
+         q_len, q_start, L_all) = _derived(sc, ("base",), _build_base)
+        S1_all = _derived(
+            sc, ("s1", l1_n), lambda: (lines % l1_n).tolist(), cap=2
         )
-
-    (q_nodes, n_i_q, n_ki_q, n_w_q,
-     q_len, q_start, L_all) = _derived(sc, ("base",), _build_base)
-    S1_all = _derived(
-        sc, ("s1", l1_n), lambda: (lines % l1_n).tolist(), cap=2
-    )
 
     i_refs = i_miss = d_refs = d_miss = l2hits = writes = 0
 
     if stream:
         core = CoherenceCore(protocol, net, system.misses.record)
         timing: list = []
-        F_all = _derived(sc, ("flags",), flags.tolist)
+        with tracer.span("mp.census", phase="projections"):
+            F_all = _derived(sc, ("flags",), flags.tolist)
+        racs = system.racs
+        dir_sharers = protocol.directory._sharers
+        t_walk = t_charge = 0.0
+        loop_start = perf_counter() if traced else 0.0
         for qi in range(len(q_len)):
             if qi == warmup_end:
                 core.record_miss = system._measurement_boundary(
@@ -1009,10 +1024,15 @@ def replay_multiprocessor(system, trace, protocol, net) -> None:
             end = start + q_len[qi]
             nid = q_nodes[qi]
             F = F_all[start:end]
+            if traced:
+                t0 = perf_counter()
             i_l1m, d_l1m, l2h = _walk_stream(
                 L_all[start:end], F, nodes[nid], nid, core, timing,
                 ooo, lat_l2hit, l2_assoc,
             )
+            if traced:
+                t1 = perf_counter()
+                t_walk += t1 - t0
             cpu = cpus[nid]
             n_i = n_i_q[qi]
             if ooo:
@@ -1026,6 +1046,8 @@ def replay_multiprocessor(system, trace, protocol, net) -> None:
                 charge_quantum_inorder(
                     cpu, timing, l2h, lat_l2hit, n_i, n_ki_q[qi],
                 )
+            if traced:
+                t_charge += perf_counter() - t1
             timing.clear()
             n = q_len[qi]
             i_refs += n_i
@@ -1034,6 +1056,22 @@ def replay_multiprocessor(system, trace, protocol, net) -> None:
             d_miss += d_l1m
             l2hits += l2h
             writes += n_w_q[qi]
+            if sampler is not None and qi >= warmup_end:
+                if racs is not None:
+                    rp = sum(r.probes for r in racs)
+                    rh = sum(r.hits for r in racs)
+                else:
+                    rp = rh = 0
+                sampler.sample(qi, system.misses, i_refs,
+                               len(dir_sharers), rp, rh)
+        if traced:
+            # Stream mode services coherence events inside the walk,
+            # so walk time includes the coherence phase; the two
+            # aggregate phase spans tile the loop's real window.
+            tracer.add_span("mp.walks", loop_start, t_walk,
+                            mode="stream", coherence="inline")
+            tracer.add_span("mp.timing", loop_start + t_walk, t_charge,
+                            mode="stream")
         system._flush_counters(i_refs, i_miss, d_refs, d_miss, l2hits, writes)
         return
 
@@ -1055,23 +1093,28 @@ def replay_multiprocessor(system, trace, protocol, net) -> None:
         )
         return eff.tolist()
 
-    E_all = _derived(
-        sc, ("eff", nnodes, machine.replicate_code), _build_eff, cap=2
-    )
-    modes = _derived(
-        sc, ("modes", nnodes, l2_n, l2_assoc),
-        lambda: _select_l2_modes(sc, nnodes, l2_n, l2_assoc), cap=8,
-    )
-    states = [_NodeState(modes[n], l1_n, l2_n, l2_assoc) for n in range(nnodes)]
-    need_s2 = any(m != MODE_SET for m in modes)
-    S2_all = (
-        _derived(sc, ("s2", l2_n), lambda: (lines % l2_n).tolist(), cap=2)
-        if need_s2 else None
-    )
+    with tracer.span("mp.census", phase="projections"):
+        E_all = _derived(
+            sc, ("eff", nnodes, machine.replicate_code), _build_eff, cap=2
+        )
+        modes = _derived(
+            sc, ("modes", nnodes, l2_n, l2_assoc),
+            lambda: _select_l2_modes(sc, nnodes, l2_n, l2_assoc), cap=8,
+        )
+        states = [
+            _NodeState(modes[n], l1_n, l2_n, l2_assoc) for n in range(nnodes)
+        ]
+        need_s2 = any(m != MODE_SET for m in modes)
+        S2_all = (
+            _derived(sc, ("s2", l2_n), lambda: (lines % l2_n).tolist(), cap=2)
+            if need_s2 else None
+        )
     lat_rd = lat.remote_dirty
     dsh: dict = {}   # line -> sharer set (DirectoryState._sharers)
     down: dict = {}  # line -> owning node (DirectoryState._owner)
 
+    t_walk = t_coh = t_charge = 0.0
+    loop_start = perf_counter() if traced else 0.0
     for qi in range(len(q_len)):
         if qi == warmup_end:
             system._measurement_boundary(
@@ -1086,6 +1129,8 @@ def replay_multiprocessor(system, trace, protocol, net) -> None:
         L = L_all[start:end]
         E = E_all[start:end]
         S1 = S1_all[start:end]
+        if traced:
+            t0 = perf_counter()
         if mode == MODE_SET:
             res = _walk_set(L, E, S1, nid, states, dsh, down)
         elif mode == MODE_DM:
@@ -1094,6 +1139,9 @@ def replay_multiprocessor(system, trace, protocol, net) -> None:
         else:
             res = _walk_assoc(L, E, S1, S2_all[start:end], nid, states,
                               dsh, down)
+        if traced:
+            t1 = perf_counter()
+            t_walk += t1 - t0
         (i_l1m, d_l1m, l2h,
          c_li, c_ri, c_ld, c_rd, u_l, u_r,
          ml_i, ml_d, mc_i, mc_d, md_i, md_d,
@@ -1137,10 +1185,15 @@ def replay_multiprocessor(system, trace, protocol, net) -> None:
             stall = cpu.stall_cycles
             stall[1] += (c_li + c_ld + u_l) * lat_loc
             stall[2] += (c_ri + c_rd) * lat_rc + u_r * lat_upg
+        if traced:
+            t2 = perf_counter()
+            t_coh += t2 - t1
         n_i = n_i_q[qi]
         charge_quantum_inorder(
             cpu, (), l2h, lat_l2hit, n_i, n_ki_q[qi],
         )
+        if traced:
+            t_charge += perf_counter() - t2
         n = q_len[qi]
         i_refs += n_i
         d_refs += n - n_i
@@ -1148,48 +1201,63 @@ def replay_multiprocessor(system, trace, protocol, net) -> None:
         d_miss += d_l1m
         l2hits += l2h
         writes += n_w_q[qi]
+        if sampler is not None and qi >= warmup_end:
+            sampler.sample(qi, system.misses, i_refs, len(dsh))
+
+    if traced:
+        # Aggregate phase spans reconstructed from accumulated segment
+        # timings; laid out sequentially from the loop start so they
+        # nest inside the live engine span (their sum <= elapsed).
+        tracer.add_span("mp.walks", loop_start, t_walk, mode="batch")
+        tracer.add_span("mp.coherence", loop_start + t_walk, t_coh,
+                        mode="batch")
+        tracer.add_span("mp.timing", loop_start + t_walk + t_coh,
+                        t_charge, mode="batch")
 
     # ---- materialize flat state back into the real objects --------------
-    priv = set(sc.uniq[sc.uniq_private].tolist())
-    directory = protocol.directory
-    # The run began with an empty directory and only this engine wrote
-    # to it, so the flat shared-line entries transplant wholesale.
-    directory._sharers.update(dsh)
-    directory._owner.update(down)
-    for nid, (node, st) in enumerate(zip(nodes, states)):
-        _materialize_l1(node.l1i, st.ia, st.ib)
-        _materialize_l1(node.l1d, st.da, st.db)
-        l2_sets = node.l2._sets
-        if st.mode == MODE_DM:
-            for s2, occ in enumerate(st.dmset):
-                l2_sets[s2][:] = () if occ == -1 else (occ,)
-        elif st.mode == MODE_SET:
-            for ways in l2_sets:
-                ways.clear()
-            for ln in sorted(st.resident):
-                l2_sets[ln % l2_n].append(ln)
-        else:
-            for s2, ways in enumerate(st.sets2):
-                l2_sets[s2][:] = ways
-        l2_dirty = node.l2._dirty
-        for dset in l2_dirty:
-            dset.clear()
-        for ln in st.dirty:
-            l2_dirty[ln % l2_n].add(ln)
-        # Private lines never consulted the directory during the run;
-        # reconstruct the entries _run_fast would have left behind.
-        owned = st.owned
-        if st.mode == MODE_DM:
-            resident_iter = (occ for occ in st.dmset if occ != -1)
-        elif st.mode == MODE_SET:
-            resident_iter = iter(st.resident)
-        else:
-            resident_iter = (ln for ways in st.sets2 for ln in ways)
-        for ln in resident_iter:
-            if ln in priv:
-                if ln in owned:
-                    directory.set_owner(ln, nid)
-                else:
-                    directory.add_sharer(ln, nid)
+    with tracer.span("mp.materialize"):
+        priv = set(sc.uniq[sc.uniq_private].tolist())
+        directory = protocol.directory
+        # The run began with an empty directory and only this engine
+        # wrote to it, so the flat shared-line entries transplant
+        # wholesale.
+        directory._sharers.update(dsh)
+        directory._owner.update(down)
+        for nid, (node, st) in enumerate(zip(nodes, states)):
+            _materialize_l1(node.l1i, st.ia, st.ib)
+            _materialize_l1(node.l1d, st.da, st.db)
+            l2_sets = node.l2._sets
+            if st.mode == MODE_DM:
+                for s2, occ in enumerate(st.dmset):
+                    l2_sets[s2][:] = () if occ == -1 else (occ,)
+            elif st.mode == MODE_SET:
+                for ways in l2_sets:
+                    ways.clear()
+                for ln in sorted(st.resident):
+                    l2_sets[ln % l2_n].append(ln)
+            else:
+                for s2, ways in enumerate(st.sets2):
+                    l2_sets[s2][:] = ways
+            l2_dirty = node.l2._dirty
+            for dset in l2_dirty:
+                dset.clear()
+            for ln in st.dirty:
+                l2_dirty[ln % l2_n].add(ln)
+            # Private lines never consulted the directory during the
+            # run; reconstruct the entries _run_fast would have left
+            # behind.
+            owned = st.owned
+            if st.mode == MODE_DM:
+                resident_iter = (occ for occ in st.dmset if occ != -1)
+            elif st.mode == MODE_SET:
+                resident_iter = iter(st.resident)
+            else:
+                resident_iter = (ln for ways in st.sets2 for ln in ways)
+            for ln in resident_iter:
+                if ln in priv:
+                    if ln in owned:
+                        directory.set_owner(ln, nid)
+                    else:
+                        directory.add_sharer(ln, nid)
 
     system._flush_counters(i_refs, i_miss, d_refs, d_miss, l2hits, writes)

@@ -1,0 +1,73 @@
+"""Simulation observability: span tracing, metrics, and exporters.
+
+The paper's figures attribute every cycle of *simulated* time; this
+package does the same for the *simulator's* time.  Three layers:
+
+* :mod:`repro.obs.tracer` — nestable wall-clock spans with a shared
+  no-op :data:`NULL_TRACER` when disabled, wired into
+  :meth:`repro.core.system.System.run`, all four replay engines, the
+  campaign executor (stitched across worker processes) and the OLTP
+  trace generator;
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms plus
+  per-quantum :class:`QuantumSeries` (miss-kind mix, L2 MPKI,
+  directory occupancy, RAC hit rate) sampled by the replay loops;
+* :mod:`repro.obs.export` — Chrome trace-event JSON for
+  Perfetto/``chrome://tracing``, JSON/CSV metrics dumps, and the
+  self-time table behind ``repro-oltp profile``.
+
+Both the tracer and the registry are installed process-wide with
+context managers (:func:`use_tracer` / :func:`use_metrics`); the
+default is the null implementation, and every instrumentation site is
+observational only — enabling observability never changes simulation
+results (the differential suite enforces it).
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    render_self_time,
+    self_time_table,
+    total_root_seconds,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_json,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetrics,
+    QuantumSeries,
+    current_metrics,
+    use_metrics,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    assign_parents,
+    current_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "QuantumSeries",
+    "SpanRecord",
+    "Tracer",
+    "assign_parents",
+    "chrome_trace_events",
+    "current_metrics",
+    "current_tracer",
+    "render_self_time",
+    "self_time_table",
+    "total_root_seconds",
+    "use_metrics",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_metrics_csv",
+    "write_metrics_json",
+]

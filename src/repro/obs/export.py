@@ -1,0 +1,180 @@
+"""Exporters: Chrome trace-event JSON, metrics dumps, self-time tables.
+
+Three consumers, three formats:
+
+* :func:`write_chrome_trace` — the Chrome trace-event format
+  (``{"traceEvents": [...]}``, complete ``"X"`` events with
+  microsecond ``ts``/``dur``), loadable in Perfetto or
+  ``chrome://tracing``.  Each campaign worker appears as its own
+  process track (its real ``pid``), named via ``process_name``
+  metadata events.
+* :func:`write_metrics_json` / :func:`write_metrics_csv` — the
+  registry's counters/gauges/histograms and the per-quantum series,
+  flat for scripting (CSV holds one row per sampled quantum).
+* :func:`self_time_table` / :func:`render_self_time` — per-span-name
+  aggregation of *self* time (duration minus child durations), the
+  table ``repro-oltp profile`` prints.  Summed self time equals summed
+  root-span duration by construction, which is what the profile verb
+  checks against measured wall time.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.tracer import SpanRecord, assign_parents
+
+__all__ = [
+    "chrome_trace_events",
+    "render_self_time",
+    "self_time_table",
+    "total_root_seconds",
+    "write_chrome_trace",
+    "write_metrics_csv",
+    "write_metrics_json",
+]
+
+
+def chrome_trace_events(spans: List[SpanRecord]) -> List[dict]:
+    """Spans as Chrome trace-event dicts (µs, relative to the first span)."""
+    if not spans:
+        return []
+    base = min(span.ts for span in spans)
+    events: List[dict] = []
+    seen_pids: Dict[int, str] = {}
+    for span in spans:
+        if span.pid not in seen_pids:
+            seen_pids[span.pid] = span.tid
+            events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": span.pid,
+                "tid": 0,
+                "args": {"name": f"repro pid {span.pid}"},
+            })
+        event = {
+            "name": span.name,
+            "ph": "X",
+            "ts": round((span.ts - base) * 1e6, 3),
+            "dur": round(span.dur * 1e6, 3),
+            "pid": span.pid,
+            "tid": span.tid,
+        }
+        if span.args:
+            event["args"] = dict(span.args)
+        events.append(event)
+    return events
+
+
+def write_chrome_trace(spans: List[SpanRecord], path: str) -> None:
+    """Write ``spans`` as a Chrome trace-event JSON file."""
+    payload = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+
+
+# ---------------------------------------------------------------------------
+# Metrics dumps
+# ---------------------------------------------------------------------------
+
+def write_metrics_json(registry, path: str) -> None:
+    """Dump the whole registry (instruments + series) as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(registry.to_dict(), fh, indent=2, sort_keys=True)
+
+
+_CSV_COLUMNS = (
+    "series", "label", "engine", "quantum", "miss_local", "miss_2hop",
+    "miss_3hop", "i_refs", "dir_lines", "rac_probes", "rac_hits",
+    "l2_mpki", "rac_hit_rate",
+)
+
+
+def write_metrics_csv(registry, path: str) -> None:
+    """Flatten every per-quantum series to one CSV row per quantum."""
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_CSV_COLUMNS)
+        for index, series in enumerate(registry.series):
+            label = series.meta.get("label", "")
+            engine = series.meta.get("engine", "")
+            mpki = series.mpki()
+            hit_rate = series.rac_hit_rate()
+            for row in range(len(series)):
+                writer.writerow((
+                    index, label, engine, series.quantum[row],
+                    series.miss_local[row], series.miss_2hop[row],
+                    series.miss_3hop[row], series.i_refs[row],
+                    series.dir_lines[row], series.rac_probes[row],
+                    series.rac_hits[row],
+                    round(mpki[row], 4), round(hit_rate[row], 4),
+                ))
+
+
+# ---------------------------------------------------------------------------
+# Self-time profiling
+# ---------------------------------------------------------------------------
+
+def self_time_table(spans: List[SpanRecord]) -> List[dict]:
+    """Aggregate spans by name into calls / total / self seconds.
+
+    *Self* time is a span's duration minus the durations of its direct
+    children (nesting reconstructed from the intervals per
+    ``(pid, tid)`` track), so the table's self column sums to the
+    total root-span time: nothing is double-counted.
+    Rows come back sorted by descending self time.
+    """
+    parents = assign_parents(spans)
+    child_dur = [0.0] * len(spans)
+    for i, parent in parents.items():
+        if parent is not None:
+            child_dur[parent] += spans[i].dur
+    rows: Dict[str, dict] = {}
+    for i, span in enumerate(spans):
+        row = rows.get(span.name)
+        if row is None:
+            row = rows[span.name] = {
+                "name": span.name, "calls": 0, "total": 0.0, "self": 0.0,
+            }
+        row["calls"] += 1
+        row["total"] += span.dur
+        row["self"] += span.dur - child_dur[i]
+    return sorted(rows.values(), key=lambda r: -r["self"])
+
+
+def total_root_seconds(spans: List[SpanRecord]) -> float:
+    """Summed duration of all root spans (== summed self time)."""
+    parents = assign_parents(spans)
+    return sum(spans[i].dur for i, parent in parents.items()
+               if parent is None)
+
+
+def render_self_time(spans: List[SpanRecord],
+                     wall_seconds: Optional[float] = None) -> str:
+    """The profile verb's self-time table, as printable text."""
+    rows = self_time_table(spans)
+    width = max([len(r["name"]) for r in rows] + [24])
+    lines = [
+        "span self-time profile",
+        f"  {'span':{width}s} {'calls':>6s} {'total':>9s} {'self':>9s} "
+        f"{'self%':>6s}",
+    ]
+    covered = sum(r["self"] for r in rows)
+    denom = covered or 1.0
+    for r in rows:
+        lines.append(
+            f"  {r['name']:{width}s} {r['calls']:6d} {r['total']:8.3f}s "
+            f"{r['self']:8.3f}s {100 * r['self'] / denom:5.1f}%"
+        )
+    if wall_seconds is not None:
+        lines.append(
+            f"  span total {covered:.3f}s covers "
+            f"{100 * covered / wall_seconds if wall_seconds else 0:.1f}% "
+            f"of {wall_seconds:.3f}s wall"
+        )
+    return "\n".join(lines)

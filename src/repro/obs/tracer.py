@@ -1,0 +1,248 @@
+"""Span tracing: lightweight nested wall-clock intervals.
+
+A :class:`Tracer` records *spans* — named ``perf_counter`` intervals
+opened with a ``with`` block — at subsystem granularity: one per
+simulation, one per replay-engine phase, one per campaign job, one per
+integrity-checker walk.  Spans are cheap (one object and two clock
+reads each) but they are **not** free, so the hot replay loops never
+open one per reference or per quantum; engines accumulate per-phase
+segment timings and publish them as synthetic spans via
+:meth:`Tracer.add_span` once per run instead.
+
+When tracing is off — the default — the process-wide tracer is the
+shared :data:`NULL_TRACER`, whose ``span()`` hands back one reusable
+no-op context manager: the disabled cost of an instrumentation site is
+an attribute lookup and an empty ``with`` block.  The zero-overhead
+contract (and the measured number backing it) lives in
+``benchmarks/test_bench_obs.py`` / ``BENCH_obs.json``.
+
+Spans travel across process boundaries as plain dicts
+(:meth:`Tracer.to_dicts` / :meth:`Tracer.absorb`): campaign workers
+trace locally and ship their records back with their own ``pid``, so a
+stitched campaign trace shows one Perfetto process track per worker.
+``time.perf_counter`` is system-wide monotonic on Linux, macOS and
+Windows, so worker timestamps land on the same axis as the parent's.
+
+Tracing is observational by contract: no instrumentation site may read
+a value into the simulation or mutate simulator state, and the
+differential suite re-checks engine value-identity with tracing on.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+    "assign_parents",
+    "current_tracer",
+    "use_tracer",
+]
+
+
+class SpanRecord:
+    """One finished span: name, interval, origin, and string-keyed tags."""
+
+    __slots__ = ("name", "ts", "dur", "pid", "tid", "args")
+
+    def __init__(self, name: str, ts: float, dur: float, pid: int,
+                 tid: str, args: Optional[dict] = None):
+        self.name = name
+        self.ts = ts
+        self.dur = dur
+        self.pid = pid
+        self.tid = tid
+        self.args = args or {}
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ts": self.ts,
+            "dur": self.dur,
+            "pid": self.pid,
+            "tid": self.tid,
+            "args": self.args,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpanRecord":
+        return cls(
+            data["name"], data["ts"], data["dur"],
+            data.get("pid", 0), data.get("tid", "main"),
+            data.get("args") or {},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpanRecord({self.name!r}, ts={self.ts:.6f}, "
+                f"dur={self.dur:.6f}, args={self.args})")
+
+
+class _Span:
+    """Context manager recording one interval into its tracer."""
+
+    __slots__ = ("_tracer", "_name", "_args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Optional[dict]):
+        self._tracer = tracer
+        self._name = name
+        self._args = args
+
+    def __enter__(self) -> "_Span":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        t0 = self._t0
+        tracer = self._tracer
+        tracer.spans.append(SpanRecord(
+            self._name, t0, perf_counter() - t0,
+            tracer.pid, tracer.tid, self._args,
+        ))
+
+
+class _NullSpan:
+    """The shared do-nothing span the null tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_SHARED_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans for one process (or one campaign worker)."""
+
+    enabled = True
+
+    def __init__(self, pid: Optional[int] = None, tid: str = "main"):
+        self.spans: List[SpanRecord] = []
+        self.pid = os.getpid() if pid is None else pid
+        self.tid = tid
+
+    def span(self, name: str, **args) -> _Span:
+        """Open a named span; tags become Chrome-trace ``args``."""
+        return _Span(self, name, args or None)
+
+    def add_span(self, name: str, ts: float, dur: float, **args) -> None:
+        """Record a synthetic span from an externally measured interval.
+
+        The replay engines use this to publish per-phase time they
+        accumulated across thousands of quanta as one aggregate span
+        per phase, positioned inside the enclosing engine span.
+        """
+        self.spans.append(SpanRecord(
+            name, ts, dur, self.pid, self.tid, args or None,
+        ))
+
+    # -- cross-process stitching -------------------------------------------
+
+    def to_dicts(self) -> List[dict]:
+        """Serialize every span (workers ship this to the parent)."""
+        return [span.to_dict() for span in self.spans]
+
+    def absorb(self, records: List[dict]) -> None:
+        """Merge spans serialized by another tracer (a campaign worker).
+
+        Records keep their original ``pid``/``tid``, so each worker
+        renders as its own process track; ``perf_counter`` is
+        system-wide monotonic on every supported platform, so the
+        timestamps share the parent's axis.
+        """
+        self.spans.extend(SpanRecord.from_dict(r) for r in records)
+
+
+class NullTracer:
+    """Tracing disabled: every call is a no-op.
+
+    ``span()`` returns one shared empty context manager, so a disabled
+    instrumentation site costs an attribute lookup, a call, and an
+    empty ``with`` block — nothing allocates and nothing is recorded.
+    """
+
+    enabled = False
+    spans: List[SpanRecord] = []  # always empty; shared sentinel
+    pid = 0
+    tid = "null"
+
+    def span(self, name: str, **args) -> _NullSpan:
+        return _SHARED_NULL_SPAN
+
+    def add_span(self, name: str, ts: float, dur: float, **args) -> None:
+        pass
+
+    def to_dicts(self) -> List[dict]:
+        return []
+
+    def absorb(self, records: List[dict]) -> None:
+        pass
+
+
+#: The process-wide disabled tracer (the default).
+NULL_TRACER = NullTracer()
+
+_current: "Tracer | NullTracer" = NULL_TRACER
+
+
+def current_tracer() -> "Tracer | NullTracer":
+    """The active tracer; :data:`NULL_TRACER` unless one is installed."""
+    return _current
+
+
+@contextmanager
+def use_tracer(tracer: "Tracer | NullTracer") -> Iterator["Tracer | NullTracer"]:
+    """Install ``tracer`` as the process-wide tracer for the block."""
+    global _current
+    previous = _current
+    _current = tracer
+    try:
+        yield tracer
+    finally:
+        _current = previous
+
+
+# ---------------------------------------------------------------------------
+# Nesting reconstruction (shared by the exporters and the profile table)
+# ---------------------------------------------------------------------------
+
+def assign_parents(spans: List[SpanRecord]) -> Dict[int, Optional[int]]:
+    """Map each span index to its parent's index (None for roots).
+
+    Nesting is reconstructed from the intervals themselves: within one
+    ``(pid, tid)`` track, a span is the child of the innermost span
+    whose interval contains it.  Records may arrive in any order
+    (spans are appended on *exit*, so children precede parents).
+    """
+    order = sorted(
+        range(len(spans)),
+        key=lambda i: (spans[i].pid, spans[i].tid, spans[i].ts,
+                       -spans[i].dur),
+    )
+    parents: Dict[int, Optional[int]] = {}
+    stack: List[int] = []
+    track = None
+    eps = 1e-9  # float headroom for back-to-back synthetic spans
+    for i in order:
+        span = spans[i]
+        if (span.pid, span.tid) != track:
+            track = (span.pid, span.tid)
+            stack = []
+        while stack:
+            top = spans[stack[-1]]
+            if span.ts + span.dur <= top.ts + top.dur + eps:
+                break
+            stack.pop()
+        parents[i] = stack[-1] if stack else None
+        stack.append(i)
+    return parents

@@ -34,6 +34,7 @@ from typing import IO, Dict, List, Optional, Sequence
 
 from repro.core.results import RunResult
 from repro.core.system import System, simulate
+from repro.obs import current_metrics, current_tracer
 from repro.runner.cache import ResultCache
 from repro.runner.jobs import SimJob
 from repro.runner.telemetry import (
@@ -68,22 +69,50 @@ def _worker_init(spill_dir: Optional[str], capacity: int) -> None:
     store.capacity = max(capacity, store.capacity)
 
 
-def _worker_run(job: SimJob):
-    """Simulate one job; return ``(seconds, result_dict)``.
+def _worker_run(job: SimJob, with_obs: bool = False):
+    """Simulate one job; return ``(seconds, result_dict, obs_payload)``.
 
     Results cross the process boundary as :meth:`RunResult.to_dict`
     payloads — the exact representation the cache stores — so the
     parent reconstructs identical values either way.
+
+    When the parent has observability enabled (``with_obs``), the
+    worker traces and meters the run locally and ships the serialized
+    records back (``{"spans": [...], "metrics": {...}}``) for the
+    parent to absorb; the worker's real ``pid`` rides along in each
+    span, so stitched campaign traces show one process track per
+    worker.  Otherwise the payload slot is ``None`` and the worker
+    runs at zero observability cost.
     """
     from repro.integrity.errors import ReproError
 
     trace = default_trace_store().get(job.spec)
+    if not with_obs:
+        start = time.perf_counter()
+        try:
+            result = simulate(job.machine, trace, check=job.check)
+        except ReproError as exc:
+            raise JobFailed(
+                f"{job.label}: {type(exc).__name__}: {exc}"
+            ) from None
+        return time.perf_counter() - start, result.to_dict(), None
+
+    from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
+
+    engine = System.select_engine(job.machine, check=job.check)
+    tracer = Tracer(tid="worker")
+    registry = MetricsRegistry()
     start = time.perf_counter()
     try:
-        result = simulate(job.machine, trace, check=job.check)
+        with use_tracer(tracer), use_metrics(registry):
+            with tracer.span("campaign.job", job=job.label,
+                             hash=job.content_hash(), engine=engine,
+                             source=SOURCE_SIMULATED):
+                result = simulate(job.machine, trace, check=job.check)
     except ReproError as exc:
         raise JobFailed(f"{job.label}: {type(exc).__name__}: {exc}") from None
-    return time.perf_counter() - start, result.to_dict()
+    obs = {"spans": tracer.to_dicts(), "metrics": registry.to_dict()}
+    return time.perf_counter() - start, result.to_dict(), obs
 
 
 class CampaignRunner:
@@ -142,18 +171,38 @@ class CampaignRunner:
     def run_jobs(self, jobs: Sequence[SimJob]) -> List[RunResult]:
         """Run every job; results are returned in submission order."""
         jobs = list(jobs)
-        self._progress.start_batch(self._batch, len(jobs))
+        tracer = current_tracer()
         results: List[Optional[RunResult]] = [None] * len(jobs)
 
-        # Cache pass: serve every already-known point.
+        # Cache pass first: serve every already-known point, so the
+        # progress ETA can be told how many simulations actually
+        # remain before any job line prints.
+        cached_idx: List[int] = []
         pending: List[int] = []
         for i, job in enumerate(jobs):
-            cached = self.cache.load(job) if self.cache is not None else None
-            if cached is not None:
-                results[i] = cached
-                self._record(job, 0.0, SOURCE_CACHE)
-            else:
-                pending.append(i)
+            if self.cache is not None:
+                t0 = time.perf_counter()
+                cached = self.cache.load(job)
+                if cached is not None:
+                    results[i] = cached
+                    if tracer.enabled:
+                        tracer.add_span(
+                            "campaign.job", t0, time.perf_counter() - t0,
+                            job=job.label, hash=job.content_hash(),
+                            engine=System.select_engine(
+                                job.machine, check=job.check),
+                            source=SOURCE_CACHE,
+                        )
+                    cached_idx.append(i)
+                    continue
+            pending.append(i)
+
+        # Duplicate pending points simulate once, so the expected
+        # simulation count is the number of distinct hashes.
+        expected_sim = len({jobs[i].content_hash() for i in pending})
+        self._progress.start_batch(self._batch, len(jobs), expected_sim)
+        for i in cached_idx:
+            self._record(jobs[i], 0.0, SOURCE_CACHE)
 
         if pending:
             if self.jobs > 1 and len(pending) > 1:
@@ -180,11 +229,20 @@ class CampaignRunner:
 
     def _run_serial(self, jobs: Sequence[SimJob], pending: List[int],
                     results: List[Optional[RunResult]]) -> None:
+        tracer = current_tracer()
         for i in pending:
             job = jobs[i]
             trace = self.trace_store.get(job.spec)
             start = time.perf_counter()
-            result = simulate(job.machine, trace, check=job.check)
+            if tracer.enabled:
+                with tracer.span("campaign.job", job=job.label,
+                                 hash=job.content_hash(),
+                                 engine=System.select_engine(
+                                     job.machine, check=job.check),
+                                 source=SOURCE_SIMULATED):
+                    result = simulate(job.machine, trace, check=job.check)
+            else:
+                result = simulate(job.machine, trace, check=job.check)
             seconds = time.perf_counter() - start
             results[i] = result
             self._store(job, result)
@@ -201,12 +259,15 @@ class CampaignRunner:
 
         # Duplicate jobs (the same point appearing twice in a batch)
         # simulate once and fan out by hash.
+        tracer = current_tracer()
+        metrics = current_metrics()
+        with_obs = tracer.enabled or metrics.enabled
         futures: Dict[str, "object"] = {}
         order = []
         for i in pending:
             key = jobs[i].content_hash()
             if key not in futures:
-                futures[key] = pool.submit(_worker_run, jobs[i])
+                futures[key] = pool.submit(_worker_run, jobs[i], with_obs)
             order.append((i, key))
         # Collect in submission order: deterministic output, whatever
         # order the workers finish in.
@@ -214,7 +275,10 @@ class CampaignRunner:
         for i, key in order:
             job = jobs[i]
             if key not in done:
-                seconds, payload = futures[key].result()
+                seconds, payload, obs = futures[key].result()
+                if obs is not None:
+                    tracer.absorb(obs["spans"])
+                    metrics.absorb(obs["metrics"])
                 result = RunResult.from_dict(payload)
                 done[key] = result
                 self._store(job, result)

@@ -121,17 +121,40 @@ class CampaignTelemetry:
         )
 
     def render(self) -> str:
-        """Per-batch table plus the summary line."""
+        """Per-batch table plus the summary line.
+
+        Records are grouped by batch in one pass (the table used to
+        rescan every record per batch row, O(batches × records)); the
+        ``engine`` column shows each batch's dominant replay engine
+        (ties break alphabetically, ``-`` when no record names one).
+        """
+        grouped: dict = {}
+        for r in self.records:
+            agg = grouped.get(r.batch)
+            if agg is None:
+                agg = grouped[r.batch] = {"jobs": 0, "sim": 0, "engines": {}}
+            agg["jobs"] += 1
+            if r.source == SOURCE_SIMULATED:
+                agg["sim"] += 1
+            if r.engine:
+                engines = agg["engines"]
+                engines[r.engine] = engines.get(r.engine, 0) + 1
         lines = [
             "campaign telemetry",
-            f"  {'batch':12s} {'jobs':>5s} {'sim':>5s} {'cache':>6s} {'wall':>8s}",
+            f"  {'batch':12s} {'jobs':>5s} {'sim':>5s} {'cache':>6s} "
+            f"{'wall':>8s} {'engine':>13s}",
         ]
         for batch in self.batches:
-            recs = [r for r in self.records if r.batch == batch.name]
-            sim = sum(1 for r in recs if r.source == SOURCE_SIMULATED)
+            agg = grouped.get(batch.name, {"jobs": 0, "sim": 0, "engines": {}})
+            engines = agg["engines"]
+            dominant = (
+                sorted(engines.items(), key=lambda kv: (-kv[1], kv[0]))[0][0]
+                if engines else "-"
+            )
             lines.append(
-                f"  {batch.name:12s} {len(recs):5d} {sim:5d} "
-                f"{len(recs) - sim:6d} {batch.seconds:7.1f}s"
+                f"  {batch.name:12s} {agg['jobs']:5d} {agg['sim']:5d} "
+                f"{agg['jobs'] - agg['sim']:6d} {batch.seconds:7.1f}s "
+                f"{dominant:>13s}"
             )
         lines.append(self.summary_line())
         return "\n".join(lines)
@@ -157,8 +180,11 @@ class ProgressPrinter:
     """Streams one line per finished job, with a running ETA.
 
     The ETA extrapolates the mean simulated-job cost over the jobs
-    still outstanding in the current batch, divided by the worker
-    count — coarse, but monotone enough to be useful.
+    still expected to *simulate* in the current batch, divided by the
+    worker count.  The runner resolves its cache pass before the batch
+    starts and passes ``expected_sim``, so jobs it already knows will
+    be served from the cache (or deduplicated by hash) never inflate
+    the estimate — a warm-cache batch shows no phantom ETA.
     """
 
     def __init__(self, telemetry: CampaignTelemetry,
@@ -168,18 +194,30 @@ class ProgressPrinter:
         self._batch = ""
         self._total = 0
         self._done = 0
+        self._expected_sim = 0
+        self._sim_done = 0
 
-    def start_batch(self, name: str, total_jobs: int) -> None:
+    def start_batch(self, name: str, total_jobs: int,
+                    expected_sim: Optional[int] = None) -> None:
         self._batch = name
         self._total = total_jobs
         self._done = 0
+        self._expected_sim = (
+            total_jobs if expected_sim is None else expected_sim
+        )
+        self._sim_done = 0
 
     def job_done(self, record: JobRecord) -> None:
         self._done += 1
+        if record.source == SOURCE_SIMULATED:
+            self._sim_done += 1
         remaining = max(0, self._total - self._done)
-        eta = (remaining * self.telemetry.mean_sim_seconds()
+        remaining_sim = min(
+            max(0, self._expected_sim - self._sim_done), remaining
+        )
+        eta = (remaining_sim * self.telemetry.mean_sim_seconds()
                / max(1, self.telemetry.workers))
-        suffix = f" | eta {eta:.1f}s" if remaining and eta else ""
+        suffix = f" | eta {eta:.1f}s" if remaining_sim and eta else ""
         print(
             f"  [{self._batch} {self._done}/{self._total}] "
             f"{record.label}: {record.seconds:.2f}s ({record.source})"
@@ -191,7 +229,8 @@ class ProgressPrinter:
 class NullProgress:
     """Progress sink that discards everything (quiet mode, tests)."""
 
-    def start_batch(self, name: str, total_jobs: int) -> None:
+    def start_batch(self, name: str, total_jobs: int,
+                    expected_sim: Optional[int] = None) -> None:
         pass
 
     def job_done(self, record: JobRecord) -> None:

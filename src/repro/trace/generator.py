@@ -196,25 +196,29 @@ def build_trace(
     times, so caches and the buffer pool reach steady state before
     measurement starts.
     """
-    config = WorkloadConfig.build(ncpus=ncpus, scale=scale, seed=seed)
-    if warmup_txns is None:
-        warmup_txns = max(100, 4 * config.num_servers)
-    model = MemoryModel(config, seed=seed)
-    rng = random.Random(seed ^ 0xC0DE)
-    builder = TraceBuilder(model, CodeModel(model, rng), rng, warmup_txns)
-    engine = OracleEngine(config, builder)
-    engine.prewarm()
-    engine.run(warmup_txns + txns)
-    builder.finalize()
-    engine.db.check_consistency()
-    return OltpTrace(
-        ncpus=ncpus,
-        scale=scale,
-        page_bytes=model.page_bytes,
-        text_pages=model.text_pages,
-        quanta=builder.quanta,
-        warmup_quanta=builder.warmup_quanta,
-        measured_txns=txns,
-        engine_stats=engine.stats,
-        config=config,
-    )
+    from repro.obs import current_tracer
+
+    with current_tracer().span("trace.build", ncpus=ncpus, scale=scale,
+                               txns=txns, seed=seed):
+        config = WorkloadConfig.build(ncpus=ncpus, scale=scale, seed=seed)
+        if warmup_txns is None:
+            warmup_txns = max(100, 4 * config.num_servers)
+        model = MemoryModel(config, seed=seed)
+        rng = random.Random(seed ^ 0xC0DE)
+        builder = TraceBuilder(model, CodeModel(model, rng), rng, warmup_txns)
+        engine = OracleEngine(config, builder)
+        engine.prewarm()
+        engine.run(warmup_txns + txns)
+        builder.finalize()
+        engine.db.check_consistency()
+        return OltpTrace(
+            ncpus=ncpus,
+            scale=scale,
+            page_bytes=model.page_bytes,
+            text_pages=model.text_pages,
+            quanta=builder.quanta,
+            warmup_quanta=builder.warmup_quanta,
+            measured_txns=txns,
+            engine_stats=engine.stats,
+            config=config,
+        )

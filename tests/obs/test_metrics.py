@@ -1,0 +1,165 @@
+"""Metrics registry unit tests: instruments, quantum series, merging."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    NULL_METRICS,
+    MetricsRegistry,
+    QuantumSeries,
+    current_metrics,
+    use_metrics,
+)
+from repro.obs.metrics import HistogramSummary
+from repro.params import INSTRS_PER_ILINE
+from repro.stats.breakdown import MissBreakdown
+
+
+class TestInstruments:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.count("integrity.checks_run")
+        reg.count("integrity.checks_run")
+        reg.count("jobs", 5)
+        assert reg.counters == {"integrity.checks_run": 2, "jobs": 5}
+
+    def test_gauges_overwrite(self):
+        reg = MetricsRegistry()
+        reg.gauge("dir.lines", 10)
+        reg.gauge("dir.lines", 7)
+        assert reg.gauges == {"dir.lines": 7}
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        for v in (2.0, 4.0, 9.0):
+            reg.observe("job.seconds", v)
+        hist = reg.histograms["job.seconds"]
+        assert hist.count == 3
+        assert hist.total == 15.0
+        assert hist.mean == 5.0
+        assert (hist.min, hist.max) == (2.0, 9.0)
+
+    def test_histogram_merge(self):
+        a, b = HistogramSummary(), HistogramSummary()
+        a.observe(3.0)
+        b.observe(1.0)
+        b.observe(8.0)
+        a.merge_dict(b.to_dict())
+        assert a.count == 3
+        assert a.total == 12.0
+        assert (a.min, a.max) == (1.0, 8.0)
+
+    def test_histogram_merge_into_empty(self):
+        a = HistogramSummary()
+        b = HistogramSummary()
+        b.observe(4.0)
+        a.merge_dict(b.to_dict())
+        assert (a.count, a.min, a.max) == (1, 4.0, 4.0)
+
+
+class TestQuantumSeries:
+    def test_samples_store_deltas_of_cumulative_counters(self):
+        series = QuantumSeries({"label": "8M8w"})
+        misses = MissBreakdown(i_local=2, d_local=3, i_remote=1,
+                               d_remote_clean=4, d_remote_dirty=5)
+        series.sample(10, misses, i_refs=100, dir_lines=40,
+                      rac_probes=20, rac_hits=10)
+        misses = MissBreakdown(i_local=3, d_local=5, i_remote=2,
+                               d_remote_clean=6, d_remote_dirty=9)
+        series.sample(11, misses, i_refs=250, dir_lines=55,
+                      rac_probes=30, rac_hits=18)
+
+        assert series.quantum == [10, 11]
+        assert series.miss_local == [5, 3]      # (2+3), (3+5)-(2+3)
+        assert series.miss_2hop == [5, 3]       # (1+4), (2+6)-(1+4)
+        assert series.miss_3hop == [5, 4]
+        assert series.i_refs == [100, 150]
+        assert series.dir_lines == [40, 55]     # gauge, not a delta
+        assert series.rac_probes == [20, 10]
+        assert series.rac_hits == [10, 8]
+
+    def test_totals_match_final_cumulative_counters(self):
+        series = QuantumSeries()
+        final = MissBreakdown(i_local=7, d_local=1, i_remote=2,
+                              d_remote_clean=3, d_remote_dirty=8)
+        series.sample(0, MissBreakdown(i_local=4), i_refs=10, dir_lines=1)
+        series.sample(1, final, i_refs=30, dir_lines=2)
+        assert series.total_misses == final.total
+        assert sum(series.miss_3hop) == final.d_remote_dirty
+        assert series.dirty_share == final.d_remote_dirty / final.total
+
+    def test_mpki_and_rac_hit_rate(self):
+        series = QuantumSeries()
+        series.sample(0, MissBreakdown(d_local=6), i_refs=100, dir_lines=0,
+                      rac_probes=8, rac_hits=2)
+        series.sample(1, MissBreakdown(d_local=6), i_refs=200, dir_lines=0,
+                      rac_probes=8, rac_hits=2)
+        mpki = series.mpki()
+        assert mpki[0] == 1000.0 * 6 / (100 * INSTRS_PER_ILINE)
+        assert mpki[1] == 0.0  # no misses that quantum
+        assert series.rac_hit_rate() == [0.25, 0.0]
+
+    def test_dirty_share_empty_series(self):
+        assert QuantumSeries().dirty_share == 0.0
+
+    def test_to_dict_from_dict_round_trip(self):
+        series = QuantumSeries({"label": "x", "l2_assoc": 8})
+        series.sample(3, MissBreakdown(d_local=2, d_remote_dirty=1),
+                      i_refs=50, dir_lines=9, rac_probes=4, rac_hits=1)
+        data = json.loads(json.dumps(series.to_dict()))
+        back = QuantumSeries.from_dict(data)
+        assert back.meta == series.meta
+        assert back.quantum == series.quantum
+        for field in QuantumSeries.DELTA_FIELDS + ("dir_lines",):
+            assert getattr(back, field) == getattr(series, field)
+        assert back.dirty_share == series.dirty_share
+
+
+class TestRegistryMerging:
+    def test_absorb_merges_everything(self):
+        worker = MetricsRegistry()
+        worker.count("integrity.checks_run", 3)
+        worker.gauge("trace.refs", 1000)
+        worker.observe("job.seconds", 2.0)
+        worker.new_series(label="w").sample(
+            0, MissBreakdown(d_local=1), i_refs=5, dir_lines=2)
+
+        parent = MetricsRegistry()
+        parent.count("integrity.checks_run", 1)
+        parent.observe("job.seconds", 6.0)
+        parent.absorb(json.loads(json.dumps(worker.to_dict())))
+
+        assert parent.counters["integrity.checks_run"] == 4
+        assert parent.gauges["trace.refs"] == 1000
+        assert parent.histograms["job.seconds"].count == 2
+        assert parent.histograms["job.seconds"].mean == 4.0
+        assert len(parent.series) == 1
+        assert parent.series[0].meta == {"label": "w"}
+        assert parent.series[0].miss_local == [1]
+
+    def test_registry_dict_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.count("a")
+        reg.new_series(label="x").sample(
+            0, MissBreakdown(), i_refs=0, dir_lines=0)
+        json.dumps(reg.to_dict())
+
+
+class TestNullMetrics:
+    def test_null_metrics_discards(self):
+        NULL_METRICS.count("a")
+        NULL_METRICS.gauge("b", 1)
+        NULL_METRICS.observe("c", 2.0)
+        NULL_METRICS.absorb({"counters": {"a": 1}})
+        assert NULL_METRICS.to_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}, "series": [],
+        }
+        assert NULL_METRICS.enabled is False
+
+    def test_use_metrics_installs_and_restores(self):
+        reg = MetricsRegistry()
+        assert current_metrics() is NULL_METRICS
+        with use_metrics(reg):
+            assert current_metrics() is reg
+        assert current_metrics() is NULL_METRICS

@@ -1,0 +1,159 @@
+"""Span tracer unit tests: recording, nesting, stitching, null cost."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    assign_parents,
+    current_tracer,
+    use_tracer,
+)
+from repro.obs.tracer import _SHARED_NULL_SPAN
+
+
+class TestSpanRecording:
+    def test_span_records_name_interval_and_args(self):
+        tracer = Tracer()
+        with tracer.span("unit.outer", figure="fig5", n=3):
+            pass
+        assert len(tracer.spans) == 1
+        span = tracer.spans[0]
+        assert span.name == "unit.outer"
+        assert span.dur >= 0.0
+        assert span.args == {"figure": "fig5", "n": 3}
+        assert span.pid > 0
+        assert span.tid == "main"
+
+    def test_spans_appended_on_exit_children_first(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+        inner, outer = tracer.spans
+        assert outer.ts <= inner.ts
+        assert inner.ts + inner.dur <= outer.ts + outer.dur + 1e-9
+
+    def test_span_recorded_even_when_body_raises(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("will.raise"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert [s.name for s in tracer.spans] == ["will.raise"]
+
+    def test_add_span_records_synthetic_interval(self):
+        tracer = Tracer(pid=7, tid="worker")
+        tracer.add_span("mp.walks", 10.0, 2.5, mode="batch")
+        span = tracer.spans[0]
+        assert (span.name, span.ts, span.dur) == ("mp.walks", 10.0, 2.5)
+        assert span.args == {"mode": "batch"}
+        assert (span.pid, span.tid) == (7, "worker")
+
+
+class TestNesting:
+    def test_assign_parents_reconstructs_with_block_nesting(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                with tracer.span("a.1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        spans = tracer.spans  # exit order: a.1, a, b, root
+        parents = assign_parents(spans)
+        by_name = {s.name: i for i, s in enumerate(spans)}
+        assert parents[by_name["root"]] is None
+        assert parents[by_name["a"]] == by_name["root"]
+        assert parents[by_name["b"]] == by_name["root"]
+        assert parents[by_name["a.1"]] == by_name["a"]
+
+    def test_synthetic_back_to_back_spans_nest_under_parent(self):
+        # The engines lay per-phase aggregates end-to-end inside the
+        # engine span; the float-headroom epsilon must keep the last
+        # one (whose end can equal the parent's end) a child.
+        spans = [
+            SpanRecord("engine", 0.0, 3.0, 1, "main"),
+            SpanRecord("walks", 0.0, 2.0, 1, "main"),
+            SpanRecord("timing", 2.0, 1.0, 1, "main"),
+        ]
+        parents = assign_parents(spans)
+        assert parents[0] is None
+        assert parents[1] == 0
+        assert parents[2] == 0
+
+    def test_tracks_are_independent_per_pid_tid(self):
+        spans = [
+            SpanRecord("parent", 0.0, 10.0, 1, "main"),
+            SpanRecord("worker.job", 1.0, 2.0, 2, "worker"),
+        ]
+        parents = assign_parents(spans)
+        # Same wall-clock window, different process: not a child.
+        assert parents[1] is None
+
+
+class TestStitching:
+    def test_to_dicts_absorb_round_trip(self):
+        worker = Tracer(pid=1234, tid="worker")
+        worker.add_span("campaign.job", 5.0, 0.5, job="1M4w")
+        payload = worker.to_dicts()
+        # The payload must survive the process boundary.
+        payload = pickle.loads(pickle.dumps(payload))
+
+        parent = Tracer()
+        with parent.span("local"):
+            pass
+        parent.absorb(payload)
+        absorbed = parent.spans[-1]
+        assert absorbed.name == "campaign.job"
+        assert (absorbed.pid, absorbed.tid) == (1234, "worker")
+        assert absorbed.args == {"job": "1M4w"}
+        assert absorbed.to_dict() == worker.spans[0].to_dict()
+
+    def test_from_dict_defaults(self):
+        span = SpanRecord.from_dict({"name": "x", "ts": 1.0, "dur": 2.0})
+        assert (span.pid, span.tid, span.args) == (0, "main", {})
+
+
+class TestNullTracer:
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("anything", k=1):
+            pass
+        NULL_TRACER.add_span("more", 0.0, 1.0)
+        NULL_TRACER.absorb([{"name": "x", "ts": 0.0, "dur": 1.0}])
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.to_dicts() == []
+
+    def test_null_span_is_one_shared_object(self):
+        # The zero-overhead contract: a disabled site allocates nothing.
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+        assert NULL_TRACER.span("a") is _SHARED_NULL_SPAN
+
+    def test_enabled_flags(self):
+        assert Tracer().enabled is True
+        assert NullTracer.enabled is False
+
+
+class TestInstall:
+    def test_default_is_null(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_on_exception(self):
+        try:
+            with use_tracer(Tracer()):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_tracer() is NULL_TRACER

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.stats",
     "repro.experiments",
     "repro.integrity",
+    "repro.obs",
 ]
 
 
