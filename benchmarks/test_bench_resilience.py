@@ -1,0 +1,106 @@
+"""Supervision overhead benchmark: supervised vs bare worker pool.
+
+Runs the Figure 6 sweep (quick sizes, trace pre-archived so workers
+only simulate) through a bare ``ProcessPoolExecutor`` and through the
+:class:`~repro.runner.SupervisedExecutor`, interleaved over several
+rounds, and asserts the supervised minimum stays within
+``BENCH_RESILIENCE_LIMIT`` (default 5%) of the bare minimum — the
+fault-tolerance machinery must be free when nothing faults.
+
+Dumps ``BENCH_resilience.json`` (override with ``BENCH_RESILIENCE_OUT``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.experiments.common import Settings, trace_spec
+from repro.experiments.offchip import sweep_configs
+from repro.runner import SimJob, SupervisedExecutor, default_trace_store
+from repro.runner.supervisor import _worker_init, _worker_run
+from repro.runner.tracestore import DEFAULT_CAPACITY
+
+OUT = os.environ.get("BENCH_RESILIENCE_OUT", "BENCH_resilience.json")
+LIMIT = float(os.environ.get("BENCH_RESILIENCE_LIMIT", "1.05"))
+WORKERS = 4
+ROUNDS = 3
+
+
+def fig6_jobs(settings: Settings):
+    spec = trace_spec(8, settings)
+    return [SimJob(spec=spec, machine=machine)
+            for _, machine in sweep_configs(8, settings.scale)]
+
+
+def test_bench_supervision_overhead(tmp_path_factory):
+    settings = Settings.quick()
+    jobs = fig6_jobs(settings)
+
+    store = default_trace_store()
+    previous_spill = store.spill_dir
+    store.spill_dir = str(tmp_path_factory.mktemp("bench-resilience-traces"))
+    try:
+        # Archive the trace up front: both pools then measure pure
+        # dispatch + simulation, not workload generation.
+        store.ensure_archived(jobs[0].spec)
+
+        bare_pool = ProcessPoolExecutor(
+            max_workers=WORKERS, initializer=_worker_init,
+            initargs=(store.spill_dir, DEFAULT_CAPACITY),
+        )
+        supervised = SupervisedExecutor(WORKERS, store)
+
+        def bare_round():
+            futures = [bare_pool.submit(_worker_run, job) for job in jobs]
+            return [f.result() for f in futures]
+
+        def supervised_round():
+            outcomes = supervised.run(jobs)
+            assert all(o.ok for o in outcomes)
+            return outcomes
+
+        # First pass warms both pools (fork + import cost) untimed.
+        bare_round()
+        supervised_round()
+
+        bare_times, supervised_times = [], []
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            bare_round()
+            bare_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            supervised_round()
+            supervised_times.append(time.perf_counter() - start)
+
+        bare_pool.shutdown()
+        supervised.close()
+    finally:
+        store.spill_dir = previous_spill
+
+    bare_best = min(bare_times)
+    supervised_best = min(supervised_times)
+    ratio = supervised_best / bare_best
+    payload = {
+        "settings": "quick",
+        "figure": "fig6",
+        "jobs": len(jobs),
+        "workers": WORKERS,
+        "rounds": ROUNDS,
+        "cpu_count": os.cpu_count(),
+        "bare_seconds": [round(t, 4) for t in bare_times],
+        "supervised_seconds": [round(t, 4) for t in supervised_times],
+        "bare_best": round(bare_best, 4),
+        "supervised_best": round(supervised_best, 4),
+        "overhead_ratio": round(ratio, 4),
+        "limit": LIMIT,
+    }
+    with open(OUT, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+    assert ratio <= LIMIT, (
+        f"supervision overhead {ratio:.3f}x exceeds the {LIMIT:.2f}x limit "
+        f"(bare {bare_best:.3f}s vs supervised {supervised_best:.3f}s)"
+    )

@@ -6,6 +6,7 @@ Usage::
     repro-oltp all --quick         # smoke-run every figure
     repro-oltp fig10 --scale 16    # bigger (slower, higher-fidelity) run
     repro-oltp campaign --jobs 4   # all figures, parallel, result-cached
+    repro-oltp campaign fig5,fig6 --resume run.journal   # subset, resumable
     repro-oltp profile fig6        # figure + self-time table + Chrome trace
     repro-oltp fig8 --metrics-out fig8.json   # per-quantum metric series
 """
@@ -16,6 +17,7 @@ import argparse
 import os
 import sys
 import time
+from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional
 
 from repro.experiments import (
@@ -127,7 +129,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("figure", choices=FIGURES + EXTRAS + ("all",),
                         help="which figure (or extra study) to reproduce")
     parser.add_argument("target", nargs="?", default=None,
-                        help="figure to profile (for the 'profile' verb)")
+                        help="figure to profile (for the 'profile' verb) or "
+                             "a comma-separated figure subset (for "
+                             "'campaign')")
     parser.add_argument("--scale", type=int, default=0,
                         help="workload/cache scale-down factor (default 32)")
     parser.add_argument("--uni-txns", type=int, default=0,
@@ -154,6 +158,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="campaign: disable the on-disk result cache")
     parser.add_argument("--no-progress", action="store_true",
                         help="campaign: suppress per-job progress lines")
+    parser.add_argument("--resume", metavar="JOURNAL", default=None,
+                        help="campaign: checkpoint completed jobs into this "
+                             "append-only journal and, when it already "
+                             "exists, serve them from it instead of "
+                             "re-simulating (safe across SIGINT/SIGKILL)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="campaign: per-job wall-clock deadline; a job "
+                             "past it is killed and retried (default: none)")
+    parser.add_argument("--max-retries", type=int, default=None, metavar="N",
+                        help="campaign: re-executions allowed per failing "
+                             "job before it is reported as failed "
+                             "(default 2)")
+    parser.add_argument("--chaos", metavar="SPEC", default=None,
+                        help="campaign: inject worker faults, e.g. "
+                             "'crash@0,hang@1~120,slow@*~0.1:3' "
+                             "(kind@job[~seconds][:times]; testing only)")
+    parser.add_argument("--failure-report", metavar="PATH", default=None,
+                        help="campaign: write the machine-readable per-job "
+                             "success/failure report JSON here")
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="write a Chrome trace-event JSON of the run "
                              "(load in Perfetto or chrome://tracing)")
@@ -162,14 +186,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "series (.csv suffix selects CSV, else JSON)")
     args = parser.parse_args(argv)
 
+    campaign_figures = FIGURES
     if args.figure == "profile":
         if args.target not in FIGURES:
             parser.error(
                 "profile needs a figure to profile, e.g. 'profile fig6' "
                 f"(choose from {', '.join(FIGURES)})"
             )
+    elif args.figure == "campaign" and args.target is not None:
+        campaign_figures = tuple(
+            name for name in args.target.split(",") if name
+        )
+        unknown = [n for n in campaign_figures if n not in FIGURES]
+        if unknown:
+            parser.error(
+                f"unknown campaign figure(s) {', '.join(unknown)} "
+                f"(choose from {', '.join(FIGURES)})"
+            )
     elif args.target is not None:
-        parser.error("a target figure only applies to the 'profile' verb")
+        parser.error(
+            "a target only applies to the 'profile' and 'campaign' verbs"
+        )
 
     settings = _settings(args)
     completed: List[str] = []
@@ -183,8 +220,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     def dispatch() -> int:
         if args.figure == "campaign":
+            chaos = None
+            if args.chaos:
+                import tempfile
+
+                from repro.integrity.faults import parse_worker_faults
+
+                chaos = (parse_worker_faults(args.chaos),
+                         tempfile.mkdtemp(prefix="repro-chaos-"))
             report = run_campaign(
-                FIGURES,
+                campaign_figures,
                 settings,
                 jobs=args.jobs or default_jobs(),
                 cache_dir=args.cache_dir,
@@ -192,8 +237,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 chart=args.chart,
                 csv_dir=args.csv,
                 progress=not args.no_progress,
+                resume=args.resume,
+                job_timeout=args.job_timeout,
+                max_retries=args.max_retries,
+                chaos=chaos,
+                failure_report=args.failure_report,
             )
             print(report.render())
+            if not report.ok:
+                failed = ", ".join(report.failures)
+                print(f"repro-oltp: campaign completed with failures in: "
+                      f"{failed} (see report above)", file=sys.stderr)
+                return 1
             return 0
 
         if args.figure == "selftest":
@@ -248,6 +303,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 130
     except (ReproError, JobFailed) as exc:
         print(f"repro-oltp: error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenProcessPool:
+        # The supervised executor absorbs worker deaths; reaching here
+        # means the pool died outside its care (e.g. during shutdown).
+        print(
+            "repro-oltp: error: a campaign worker process died "
+            "unexpectedly and the pool could not be recovered; completed "
+            "results are preserved in the cache/journal — rerun (or "
+            "rerun with --resume) to finish the remaining jobs",
+            file=sys.stderr,
+        )
         return 1
     except Exception as exc:  # no tracebacks for end users
         print(f"repro-oltp: internal error ({type(exc).__name__}): {exc}",

@@ -20,17 +20,26 @@ turns that claim into a runtime guarantee:
 
 from repro.integrity.checker import Checker, CheckLevel
 from repro.integrity.errors import (
+    CampaignJobError,
     ConfigError,
     FaultInjectionError,
     InvariantViolation,
+    JournalFormatError,
     ReproError,
     StateError,
     TraceFormatError,
     TraceMismatchError,
 )
-from repro.integrity.faults import FaultKind, FaultPlan
+from repro.integrity.faults import (
+    FaultKind,
+    FaultPlan,
+    WorkerFaultKind,
+    WorkerFaultPlan,
+    parse_worker_faults,
+)
 
 __all__ = [
+    "CampaignJobError",
     "Checker",
     "CheckLevel",
     "ConfigError",
@@ -38,8 +47,12 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "InvariantViolation",
+    "JournalFormatError",
     "ReproError",
     "StateError",
     "TraceFormatError",
     "TraceMismatchError",
+    "WorkerFaultKind",
+    "WorkerFaultPlan",
+    "parse_worker_faults",
 ]

@@ -34,6 +34,40 @@ class TraceMismatchError(ReproError, ValueError):
     (CPU-count mismatch, bad page size, empty or mis-bounded quanta)."""
 
 
+class JournalFormatError(ReproError, ValueError):
+    """A campaign journal passed to ``--resume`` is not a journal at
+    all, or was written by a future format version.  (Damage *within*
+    a journal — torn or corrupt lines — is healed silently instead.)"""
+
+
+class CampaignJobError(ReproError, RuntimeError):
+    """One or more jobs of a campaign batch failed terminally.
+
+    Raised by the campaign runner after the supervised executor has
+    driven every job of a batch to a terminal outcome, so the caller
+    still gets a complete picture: ``failures`` holds one structured
+    :class:`~repro.runner.supervisor.JobFailure` per dead job (label,
+    hash, failure kind, message, attempt count).  All successful jobs
+    of the batch were already persisted to the cache/journal before
+    this was raised — a rerun only repeats the failures.
+    """
+
+    def __init__(self, failures):
+        self.failures = list(failures)
+        shown = ", ".join(
+            f"{f.label} [{f.kind} after {f.attempts} attempt"
+            f"{'s' if f.attempts != 1 else ''}: {f.message}]"
+            for f in self.failures[:3]
+        )
+        more = len(self.failures) - 3
+        if more > 0:
+            shown += f", and {more} more"
+        super().__init__(
+            f"{len(self.failures)} job"
+            f"{'s' if len(self.failures) != 1 else ''} failed: {shown}"
+        )
+
+
 class StateError(ReproError, RuntimeError):
     """An object was driven through an illegal lifecycle transition
     (e.g. reusing a single-use :class:`~repro.core.system.System`)."""

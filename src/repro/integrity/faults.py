@@ -1,4 +1,4 @@
-"""Deterministic fault injection for mutation-testing the checker.
+"""Deterministic fault injection: simulator-state and worker faults.
 
 A :class:`FaultPlan` deliberately corrupts one piece of simulator
 state — directory protocol metadata, LRU placement, residency or dirty
@@ -7,6 +7,13 @@ bits — at a configured reference index.  The integrity
 corruption as an :class:`~repro.integrity.errors.InvariantViolation`;
 a checker that stays silent under every fault class is vacuous, and
 ``repro-oltp selftest`` proves ours is not.
+
+A :class:`WorkerFaultPlan` is the same idea one layer up: it injects
+*process-level* misbehaviour — crash, hang, corrupted result, transient
+exception, slow worker — into campaign worker processes, so the
+supervised executor (:mod:`repro.runner.supervisor`) can be
+mutation-tested the way the checker is.  See the "chaos harness"
+section at the bottom of this module.
 
 Plans are seeded and deterministic: the same ``(kind, at_ref, seed)``
 against the same simulator state always corrupts the same target, so
@@ -22,9 +29,12 @@ an eviction popping an injected duplicate).
 from __future__ import annotations
 
 import enum
+import json
+import os
 import random
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.integrity.errors import FaultInjectionError
 
@@ -181,3 +191,291 @@ class FaultPlan:
             line += 1
         l1.fill(line)
         return {"node": node_id, "cache": l1.name, "line": line}
+
+
+# -- chaos harness: worker-process fault injection ----------------------------
+#
+# Campaign workers can fail in ways no simulator-state fault models:
+# the whole process dies, wedges, or returns garbage.  A
+# WorkerFaultPlan injects exactly those failures into the supervised
+# executor's worker processes, deterministically, so the chaos suite
+# (tests/runner/test_chaos.py) can assert the supervisor recovers from
+# each class with value-identical results.
+#
+# Plans fire when a worker's local job counter reaches `at_job`
+# (`EVERY_JOB` matches all), and total fires across the campaign are
+# bounded by `times` via atomically-claimed token files in a shared
+# directory — essential for the crash/hang classes, where the worker
+# that fired is replaced by a fresh process that would otherwise fire
+# again, forever.
+
+
+class InjectedWorkerFault(RuntimeError):
+    """The transient exception the chaos harness raises inside a
+    worker; deliberately *not* a ReproError, so the supervisor treats
+    it as retryable rather than as a deterministic simulation error."""
+
+
+class WorkerFaultKind(enum.Enum):
+    """The classes of worker misbehaviour a :class:`WorkerFaultPlan`
+    can inject."""
+
+    #: Kill the worker process outright (``os._exit``): models a
+    #: segfault or the OOM killer.  Breaks the whole pool.
+    CRASH = "crash"
+    #: Sleep far past any job deadline: models a wedged worker.
+    HANG = "hang"
+    #: Flip a value in the result payload *after* its CRC was taken:
+    #: models bit-rot in flight.  The supervisor must reject it.
+    CORRUPT_RESULT = "corrupt-result"
+    #: Raise a (retryable) exception: models a transient environment
+    #: failure — ENOMEM, a dropped file handle, a flaky import.
+    TRANSIENT_RAISE = "transient-raise"
+    #: Sleep briefly, then answer correctly: models an overloaded
+    #: worker that must NOT be treated as failed.
+    SLOW = "slow"
+
+
+#: ``at_job`` wildcard: the plan is eligible on every job.
+EVERY_JOB = -1
+
+
+@dataclass
+class WorkerFaultPlan:
+    """One seeded, bounded misbehaviour of a campaign worker.
+
+    ``at_job`` is the worker-local job index the fault targets
+    (:data:`EVERY_JOB` targets all).  ``times`` bounds total fires
+    across every worker and every pool generation, enforced through
+    token files when the injector has a token directory (workers
+    racing for the same token claim distinct ones, so the bound holds
+    under concurrency).  ``delay_s`` is the sleep for HANG/SLOW;
+    ``seed`` drives the corruption-target choice for CORRUPT_RESULT.
+    ``name`` must be unique within one campaign (the parser
+    guarantees it); it keys the token files.
+    """
+
+    kind: Union[WorkerFaultKind, str]
+    at_job: int = 0
+    times: int = 1
+    delay_s: Optional[float] = None
+    seed: int = 0
+    name: str = ""
+
+    #: Default sleeps: a hang must outlive any sane job timeout, a
+    #: slow worker must comfortably beat one.
+    HANG_DELAY = 3600.0
+    SLOW_DELAY = 0.25
+
+    def __post_init__(self):
+        if not isinstance(self.kind, WorkerFaultKind):
+            try:
+                self.kind = WorkerFaultKind(
+                    str(self.kind).lower().replace("_", "-"))
+            except ValueError:
+                options = ", ".join(repr(k.value) for k in WorkerFaultKind)
+                raise FaultInjectionError(
+                    f"unknown worker fault kind {self.kind!r} "
+                    f"(choose one of {options})"
+                ) from None
+        if self.at_job < EVERY_JOB:
+            raise FaultInjectionError(
+                "at_job must be a job index or EVERY_JOB")
+        if self.times < 1:
+            raise FaultInjectionError("times must be at least 1")
+        if not self.name:
+            self.name = f"{self.kind.value}@{self.at_job}"
+
+    def matches(self, job_index: int) -> bool:
+        return self.at_job in (EVERY_JOB, job_index)
+
+    @property
+    def delay(self) -> float:
+        if self.delay_s is not None:
+            return self.delay_s
+        return (self.HANG_DELAY if self.kind is WorkerFaultKind.HANG
+                else self.SLOW_DELAY)
+
+
+def parse_worker_faults(spec: str) -> "list[WorkerFaultPlan]":
+    """Parse a chaos spec like ``"crash@0,hang@1~120,slow@*~0.1:3"``.
+
+    Comma-separated tokens, each ``kind@job`` with ``job`` an index or
+    ``*`` (every job), optionally ``~seconds`` (delay for hang/slow)
+    and ``:times`` (total fire bound, default 1).  Raises
+    :class:`FaultInjectionError` on anything malformed.
+    """
+    plans = []
+    for i, token in enumerate(t.strip() for t in spec.split(",")):
+        if not token:
+            continue
+        work = token
+        times = 1
+        delay = None
+        if ":" in work:
+            work, _, times_text = work.rpartition(":")
+            try:
+                times = int(times_text)
+            except ValueError:
+                raise FaultInjectionError(
+                    f"bad fire count in chaos token {token!r}") from None
+        if "~" in work:
+            work, _, delay_text = work.rpartition("~")
+            try:
+                delay = float(delay_text)
+            except ValueError:
+                raise FaultInjectionError(
+                    f"bad delay in chaos token {token!r}") from None
+        kind, sep, at_text = work.partition("@")
+        if not sep or not kind:
+            raise FaultInjectionError(
+                f"chaos token {token!r} must look like kind@job")
+        if at_text == "*":
+            at_job = EVERY_JOB
+        else:
+            try:
+                at_job = int(at_text)
+            except ValueError:
+                raise FaultInjectionError(
+                    f"bad job index in chaos token {token!r}") from None
+        plans.append(WorkerFaultPlan(
+            kind=kind, at_job=at_job, times=times, delay_s=delay, seed=i,
+            name=f"{i}-{kind}@{at_text}",
+        ))
+    if not plans:
+        raise FaultInjectionError(f"empty chaos spec {spec!r}")
+    return plans
+
+
+class WorkerFaultInjector:
+    """The worker-process side of the chaos harness.
+
+    Installed by the pool initializer in every worker (and every pool
+    generation).  ``on_job_start`` fires the process-level faults;
+    ``corrupt_result`` is called by the worker entry point after the
+    result CRC is computed, so a fired corruption is guaranteed to be
+    *detectable* — the harness tests the supervisor's checksum, not
+    the simulator.
+    """
+
+    def __init__(self, plans, token_dir: Optional[str] = None):
+        self.plans = list(plans)
+        self.token_dir = token_dir
+        self._jobs_seen = 0
+        self._local_fires: Dict[str, int] = {}
+
+    # -- fire bounding -------------------------------------------------------
+
+    def _claim(self, plan: WorkerFaultPlan) -> bool:
+        """Atomically claim one of the plan's ``times`` fire slots."""
+        if self.token_dir is None:
+            # No shared directory: bound fires per process only.  Fine
+            # for faults the process survives; crash/hang plans need
+            # tokens to stay bounded across pool respawns.
+            fired = self._local_fires.get(plan.name, 0)
+            if fired >= plan.times:
+                return False
+            self._local_fires[plan.name] = fired + 1
+            return True
+        for slot in range(plan.times):
+            token = os.path.join(self.token_dir, f"{plan.name}.{slot}")
+            try:
+                fd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            except OSError:
+                return False
+            os.close(fd)
+            return True
+        return False
+
+    # -- firing --------------------------------------------------------------
+
+    def on_job_start(self) -> None:
+        """Count a job; fire any eligible process-level fault."""
+        index = self._jobs_seen
+        self._jobs_seen += 1
+        for plan in self.plans:
+            if plan.kind is WorkerFaultKind.CORRUPT_RESULT:
+                continue
+            if not plan.matches(index) or not self._claim(plan):
+                continue
+            if plan.kind is WorkerFaultKind.CRASH:
+                os._exit(13)
+            elif plan.kind is WorkerFaultKind.HANG:
+                time.sleep(plan.delay)
+            elif plan.kind is WorkerFaultKind.TRANSIENT_RAISE:
+                raise InjectedWorkerFault(
+                    f"injected transient fault ({plan.name})")
+            elif plan.kind is WorkerFaultKind.SLOW:
+                time.sleep(plan.delay)
+
+    def corrupt_result(self, payload: dict) -> dict:
+        """Maybe corrupt a deep copy of ``payload`` (CRC already taken).
+
+        Flips the first numeric leaf (in canonical key order) chosen
+        by the plan's seed — silent bit-rot, not structural damage, so
+        only the checksum can catch it.
+        """
+        index = self._jobs_seen - 1
+        for plan in self.plans:
+            if plan.kind is not WorkerFaultKind.CORRUPT_RESULT:
+                continue
+            if not plan.matches(index) or not self._claim(plan):
+                continue
+            corrupted = json.loads(json.dumps(payload))
+            leaves = _numeric_leaves(corrupted)
+            if leaves:
+                holder, key = leaves[
+                    random.Random(plan.seed).randrange(len(leaves))]
+                holder[key] = holder[key] + 1
+            return corrupted
+        return payload
+
+
+def _numeric_leaves(node, out=None):
+    """All ``(container, key)`` pairs holding a number, in stable order."""
+    if out is None:
+        out = []
+    if isinstance(node, dict):
+        for key in sorted(node):
+            value = node[key]
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                out.append((node, key))
+            else:
+                _numeric_leaves(value, out)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                out.append((node, i))
+            else:
+                _numeric_leaves(value, out)
+    return out
+
+
+#: The injector installed in this process (workers only; ``None`` in
+#: the campaign parent and in ordinary runs).
+_WORKER_INJECTOR: Optional[WorkerFaultInjector] = None
+
+
+def install_worker_faults(plans, token_dir: Optional[str] = None
+                          ) -> WorkerFaultInjector:
+    """Arm the chaos harness in this process (pool initializer hook)."""
+    global _WORKER_INJECTOR
+    _WORKER_INJECTOR = WorkerFaultInjector(plans, token_dir)
+    return _WORKER_INJECTOR
+
+
+def clear_worker_faults() -> None:
+    """Disarm the chaos harness in this process (tests)."""
+    global _WORKER_INJECTOR
+    _WORKER_INJECTOR = None
+
+
+def active_worker_injector() -> Optional[WorkerFaultInjector]:
+    """The armed injector, or ``None`` when chaos is off."""
+    return _WORKER_INJECTOR

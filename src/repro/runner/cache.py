@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.results import RunResult
+from repro.obs import current_metrics
 from repro.runner.jobs import SimJob, canonical_json
 
 #: Entry format version; bump on any layout change.
@@ -80,7 +81,7 @@ class ResultCache:
         except FileNotFoundError:
             return None
         except (OSError, ValueError, UnicodeDecodeError):
-            self.stats.rejected += 1
+            self._reject()
             return None
         try:
             if entry.get("format") != CACHE_FORMAT_VERSION:
@@ -96,13 +97,22 @@ class ResultCache:
             # Anything wrong with the entry — taxonomy above plus
             # missing keys, type errors, ConfigError from a tampered
             # machine payload — means "not cached".
-            self.stats.rejected += 1
+            self._reject()
             return None
+
+    def _reject(self) -> None:
+        self.stats.rejected += 1
+        current_metrics().count("cache.corrupt_skipped")
 
     # -- write -----------------------------------------------------------------
 
     def store(self, job: SimJob, result: RunResult) -> str:
-        """Persist ``result`` for ``job`` atomically; return the path."""
+        """Persist ``result`` for ``job`` atomically; return the path.
+
+        Crash-safe: the entry is written to a temp file, fsynced, and
+        renamed over the target, so a kill at any instant leaves either
+        the old entry or the new one — never a torn file.
+        """
         os.makedirs(self.root, exist_ok=True)
         payload = result.to_dict()
         entry = {
@@ -116,5 +126,7 @@ class ResultCache:
         tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(entry, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
         return path

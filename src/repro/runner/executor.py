@@ -1,22 +1,31 @@
-"""The campaign executor: cache-first, multiprocess, order-preserving.
+"""The campaign executor: cache-first, supervised, order-preserving.
 
 :class:`CampaignRunner` turns a list of :class:`~repro.runner.jobs.SimJob`
-into a list of :class:`~repro.core.results.RunResult` with three
+into a list of :class:`~repro.core.results.RunResult` with four
 guarantees:
 
 * **Determinism** — results come back in job order regardless of
   worker completion order, and a result that travelled through a
-  worker (or the cache) is value-identical to one simulated inline:
-  the JSON round trip is exact, so parallel output is bit-identical
-  to serial.
+  worker (or the cache, or the journal) is value-identical to one
+  simulated inline: the JSON round trip is exact, so parallel output
+  is bit-identical to serial.
 * **Cache first** — with a :class:`~repro.runner.cache.ResultCache`
   attached, unchanged points are never re-simulated; corrupt entries
-  silently demote to misses.
+  silently demote to misses.  With a
+  :class:`~repro.runner.journal.CampaignJournal` attached, completed
+  jobs survive SIGINT/SIGKILL and are served on resume.
 * **Trace sharing** — before forking, every distinct
   :class:`~repro.runner.tracestore.TraceSpec` is spilled to the trace
   archive once; workers reload it through the same
   :class:`~repro.runner.tracestore.TraceStore` code path the drivers
   use, instead of pickling multi-megabyte traces per job.
+* **Fault tolerance** — parallel batches run through a
+  :class:`~repro.runner.supervisor.SupervisedExecutor`: crashed or
+  hung workers are respawned and their in-flight jobs re-queued,
+  transient errors retry with backoff, and a job that fails terminally
+  surfaces as a structured
+  :class:`~repro.integrity.errors.CampaignJobError` *after* every
+  successful result of the batch has been persisted.
 
 The experiment drivers do not talk to a runner directly: they call
 :func:`run_simulations`, which routes through the runner installed by
@@ -26,117 +35,90 @@ serial simulation — the historical behaviour — when none is active.
 
 from __future__ import annotations
 
-import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
-from typing import IO, Dict, List, Optional, Sequence
+from typing import IO, List, Optional, Sequence
 
 from repro.core.results import RunResult
 from repro.core.system import System, simulate
+from repro.integrity.errors import CampaignJobError
 from repro.obs import current_metrics, current_tracer
 from repro.runner.cache import ResultCache
 from repro.runner.jobs import SimJob
+from repro.runner.journal import CampaignJournal
+from repro.runner.supervisor import (
+    JobFailed,
+    RetryPolicy,
+    SupervisedExecutor,
+)
 from repro.runner.telemetry import (
     SOURCE_CACHE,
+    SOURCE_JOURNAL,
     SOURCE_SIMULATED,
     CampaignTelemetry,
     NullProgress,
     ProgressPrinter,
 )
-from repro.runner.tracestore import (
-    DEFAULT_CAPACITY,
-    TraceStore,
-    default_trace_store,
-)
+from repro.runner.tracestore import TraceStore, default_trace_store
 
-
-class JobFailed(RuntimeError):
-    """A worker-side simulation failure, flattened to a picklable string.
-
-    Raised in place of the original error because several
-    :mod:`repro.integrity` exception types carry structured payloads
-    that do not survive the pickle round trip out of a worker process.
-    """
-
-
-# -- worker-process entry points (module level: must be picklable) -------------
-
-def _worker_init(spill_dir: Optional[str], capacity: int) -> None:
-    """Configure the worker's process-wide trace store at pool start."""
-    store = default_trace_store()
-    store.spill_dir = spill_dir
-    store.capacity = max(capacity, store.capacity)
-
-
-def _worker_run(job: SimJob, with_obs: bool = False):
-    """Simulate one job; return ``(seconds, result_dict, obs_payload)``.
-
-    Results cross the process boundary as :meth:`RunResult.to_dict`
-    payloads — the exact representation the cache stores — so the
-    parent reconstructs identical values either way.
-
-    When the parent has observability enabled (``with_obs``), the
-    worker traces and meters the run locally and ships the serialized
-    records back (``{"spans": [...], "metrics": {...}}``) for the
-    parent to absorb; the worker's real ``pid`` rides along in each
-    span, so stitched campaign traces show one process track per
-    worker.  Otherwise the payload slot is ``None`` and the worker
-    runs at zero observability cost.
-    """
-    from repro.integrity.errors import ReproError
-
-    trace = default_trace_store().get(job.spec)
-    if not with_obs:
-        start = time.perf_counter()
-        try:
-            result = simulate(job.machine, trace, check=job.check)
-        except ReproError as exc:
-            raise JobFailed(
-                f"{job.label}: {type(exc).__name__}: {exc}"
-            ) from None
-        return time.perf_counter() - start, result.to_dict(), None
-
-    from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
-
-    engine = System.select_engine(job.machine, check=job.check)
-    tracer = Tracer(tid="worker")
-    registry = MetricsRegistry()
-    start = time.perf_counter()
-    try:
-        with use_tracer(tracer), use_metrics(registry):
-            with tracer.span("campaign.job", job=job.label,
-                             hash=job.content_hash(), engine=engine,
-                             source=SOURCE_SIMULATED):
-                result = simulate(job.machine, trace, check=job.check)
-    except ReproError as exc:
-        raise JobFailed(f"{job.label}: {type(exc).__name__}: {exc}") from None
-    obs = {"spans": tracer.to_dicts(), "metrics": registry.to_dict()}
-    return time.perf_counter() - start, result.to_dict(), obs
+__all__ = [
+    "CampaignRunner",
+    "JobFailed",
+    "active_runner",
+    "run_simulations",
+    "simulate_spec",
+    "use_runner",
+]
 
 
 class CampaignRunner:
-    """Executes job batches against a worker pool and a result cache.
+    """Executes job batches against a supervised pool and a result cache.
 
     ``jobs`` is the worker count (1 = in-process serial, still
     cache-aware).  ``cache`` is optional; without it every job
-    simulates.  ``trace_store`` defaults to the process-wide store.
+    simulates.  ``journal`` is an optional
+    :class:`~repro.runner.journal.CampaignJournal`: completed jobs are
+    checkpointed into it and served from it first, making campaigns
+    resumable.  ``trace_store`` defaults to the process-wide store.
     ``progress`` streams per-job lines to ``stream`` (stderr).
+
+    Supervision knobs (parallel batches): ``job_timeout`` is the
+    per-job wall-clock deadline in seconds (``None`` = unbounded),
+    ``retry`` the :class:`~repro.runner.supervisor.RetryPolicy`
+    (``max_retries`` is a shorthand overriding just its retry count),
+    and ``chaos`` an optional ``(fault_plans, token_dir)`` pair arming
+    the chaos harness in every worker.
     """
 
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
                  trace_store: Optional[TraceStore] = None,
-                 progress: bool = False, stream: Optional[IO[str]] = None):
+                 progress: bool = False, stream: Optional[IO[str]] = None,
+                 journal: Optional[CampaignJournal] = None,
+                 job_timeout: Optional[float] = None,
+                 max_retries: Optional[int] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 max_respawns: int = 3,
+                 chaos=None):
         self.jobs = max(1, int(jobs))
         self.cache = cache
+        self.journal = journal
         self.trace_store = trace_store or default_trace_store()
         self.telemetry = CampaignTelemetry(workers=self.jobs)
+        if retry is None:
+            retry = RetryPolicy() if max_retries is None else RetryPolicy(
+                max_retries=max_retries)
+        elif max_retries is not None:
+            raise ValueError("pass either retry or max_retries, not both")
+        self.retry = retry
+        self.job_timeout = job_timeout
+        self.max_respawns = max_respawns
+        self.chaos = chaos
         self._progress = (
             ProgressPrinter(self.telemetry, stream) if progress
             else NullProgress()
         )
         self._batch = ""
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._supervisor: Optional[SupervisedExecutor] = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -144,21 +126,23 @@ class CampaignRunner:
         """Tag subsequent jobs with ``name`` (normally a figure id)."""
         self._batch = name
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.jobs,
-                initializer=_worker_init,
-                initargs=(self.trace_store.spill_dir,
-                          max(DEFAULT_CAPACITY, self.trace_store.capacity)),
+    def _ensure_supervisor(self) -> SupervisedExecutor:
+        if self._supervisor is None:
+            self._supervisor = SupervisedExecutor(
+                self.jobs, self.trace_store,
+                job_timeout=self.job_timeout,
+                retry=self.retry,
+                max_respawns=self.max_respawns,
+                chaos=self.chaos,
+                stats=self.telemetry.resilience,
             )
-        return self._pool
+        return self._supervisor
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        if self._supervisor is not None:
+            self._supervisor.close()
+            self._supervisor = None
 
     def __enter__(self) -> "CampaignRunner":
         return self
@@ -169,40 +153,52 @@ class CampaignRunner:
     # -- execution -------------------------------------------------------------
 
     def run_jobs(self, jobs: Sequence[SimJob]) -> List[RunResult]:
-        """Run every job; results are returned in submission order."""
+        """Run every job; results are returned in submission order.
+
+        Raises :class:`~repro.integrity.errors.CampaignJobError` if any
+        job fails terminally — after every *successful* job of the
+        batch has been recorded, cached, and journaled, so a retry of
+        the batch repeats only the failures.
+        """
         jobs = list(jobs)
         tracer = current_tracer()
         results: List[Optional[RunResult]] = [None] * len(jobs)
 
-        # Cache pass first: serve every already-known point, so the
-        # progress ETA can be told how many simulations actually
-        # remain before any job line prints.
-        cached_idx: List[int] = []
+        # Journal and cache pass first: serve every already-known
+        # point, so the progress ETA can be told how many simulations
+        # actually remain before any job line prints.
+        served: List[tuple] = []  # (index, source)
         pending: List[int] = []
         for i, job in enumerate(jobs):
-            if self.cache is not None:
-                t0 = time.perf_counter()
-                cached = self.cache.load(job)
-                if cached is not None:
-                    results[i] = cached
-                    if tracer.enabled:
-                        tracer.add_span(
-                            "campaign.job", t0, time.perf_counter() - t0,
-                            job=job.label, hash=job.content_hash(),
-                            engine=System.select_engine(
-                                job.machine, check=job.check),
-                            source=SOURCE_CACHE,
-                        )
-                    cached_idx.append(i)
-                    continue
-            pending.append(i)
+            t0 = time.perf_counter()
+            known = None
+            source = SOURCE_JOURNAL
+            if self.journal is not None:
+                known = self.journal.lookup(job)
+            if known is None and self.cache is not None:
+                known = self.cache.load(job)
+                source = SOURCE_CACHE
+            if known is None:
+                pending.append(i)
+                continue
+            results[i] = known
+            if source == SOURCE_JOURNAL:
+                current_metrics().count("campaign.journal_hits")
+            if tracer.enabled:
+                tracer.add_span(
+                    "campaign.job", t0, time.perf_counter() - t0,
+                    job=job.label, hash=job.content_hash(),
+                    engine=System.select_engine(job.machine, check=job.check),
+                    source=source,
+                )
+            served.append((i, source))
 
         # Duplicate pending points simulate once, so the expected
         # simulation count is the number of distinct hashes.
         expected_sim = len({jobs[i].content_hash() for i in pending})
         self._progress.start_batch(self._batch, len(jobs), expected_sim)
-        for i in cached_idx:
-            self._record(jobs[i], 0.0, SOURCE_CACHE)
+        for i, source in served:
+            self._record(jobs[i], 0.0, source)
 
         if pending:
             if self.jobs > 1 and len(pending) > 1:
@@ -223,9 +219,12 @@ class CampaignRunner:
         )
         self._progress.job_done(rec)
 
-    def _store(self, job: SimJob, result: RunResult) -> None:
+    def _persist(self, job: SimJob, result: RunResult) -> None:
+        """Checkpoint a fresh simulation into the cache and journal."""
         if self.cache is not None:
             self.cache.store(job, result)
+        if self.journal is not None:
+            self.journal.append(job, result)
 
     def _run_serial(self, jobs: Sequence[SimJob], pending: List[int],
                     results: List[Optional[RunResult]]) -> None:
@@ -245,7 +244,7 @@ class CampaignRunner:
                 result = simulate(job.machine, trace, check=job.check)
             seconds = time.perf_counter() - start
             results[i] = result
-            self._store(job, result)
+            self._persist(job, result)
             self._record(job, seconds, SOURCE_SIMULATED)
 
     def _run_parallel(self, jobs: Sequence[SimJob], pending: List[int],
@@ -255,37 +254,43 @@ class CampaignRunner:
         if self.trace_store.spill_dir:
             for spec in {jobs[i].spec for i in pending}:
                 self.trace_store.ensure_archived(spec)
-        pool = self._ensure_pool()
 
-        # Duplicate jobs (the same point appearing twice in a batch)
-        # simulate once and fan out by hash.
         tracer = current_tracer()
         metrics = current_metrics()
         with_obs = tracer.enabled or metrics.enabled
-        futures: Dict[str, "object"] = {}
-        order = []
+
+        # Duplicate jobs (the same point appearing twice in a batch)
+        # simulate once and fan out by hash.
+        by_hash: dict = {}
         for i in pending:
-            key = jobs[i].content_hash()
-            if key not in futures:
-                futures[key] = pool.submit(_worker_run, jobs[i], with_obs)
-            order.append((i, key))
-        # Collect in submission order: deterministic output, whatever
-        # order the workers finish in.
-        done: Dict[str, RunResult] = {}
-        for i, key in order:
-            job = jobs[i]
-            if key not in done:
-                seconds, payload, obs = futures[key].result()
-                if obs is not None:
-                    tracer.absorb(obs["spans"])
-                    metrics.absorb(obs["metrics"])
-                result = RunResult.from_dict(payload)
-                done[key] = result
-                self._store(job, result)
-                self._record(job, seconds, SOURCE_SIMULATED)
-            else:
-                self._record(job, 0.0, SOURCE_CACHE)
-            results[i] = done[key]
+            by_hash.setdefault(jobs[i].content_hash(), []).append(i)
+        distinct = [jobs[indices[0]] for indices in by_hash.values()]
+
+        def on_result(job: SimJob, result: RunResult, seconds: float,
+                      obs) -> None:
+            # Fires the moment a job completes: persist before anything
+            # else, so a kill after this instant cannot lose the work.
+            if obs is not None:
+                tracer.absorb(obs["spans"])
+                metrics.absorb(obs["metrics"])
+            self._persist(job, result)
+            self._record(job, seconds, SOURCE_SIMULATED)
+
+        outcomes = self._ensure_supervisor().run(
+            distinct, with_obs=with_obs, on_result=on_result)
+
+        failures = []
+        for outcome in outcomes:
+            indices = by_hash[outcome.job.content_hash()]
+            if outcome.failure is not None:
+                failures.append(outcome.failure)
+                continue
+            for j, i in enumerate(indices):
+                if j:  # hash-level duplicates are free, like cache hits
+                    self._record(jobs[i], 0.0, SOURCE_CACHE)
+                results[i] = outcome.result
+        if failures:
+            raise CampaignJobError(failures)
 
 
 # -- the active runner (driver-facing indirection) -----------------------------

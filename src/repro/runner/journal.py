@@ -1,0 +1,208 @@
+"""Campaign checkpoint journal: append-only, fsynced, CRC-checked.
+
+A :class:`CampaignJournal` makes a campaign resumable across SIGINT,
+SIGKILL, and power loss.  Every completed simulation appends one line —
+the job's content hash plus its full serialized
+:class:`~repro.core.results.RunResult`, guarded by a CRC-32 over the
+result's canonical JSON (the same convention :class:`ResultCache` and
+the trace archives use) — and the line is flushed and ``fsync``\\ ed
+before the campaign moves on.  ``repro-oltp campaign --resume <path>``
+then serves every journaled job without re-simulating it, and because
+the journal stores the exact cache-format payload, the resumed
+campaign's final output is bit-identical to an uninterrupted run.
+
+Recovery is write-ahead-log shaped: on open, the journal replays its
+lines, keeps every entry whose CRC verifies, counts and discards any
+corrupt or torn line (a kill mid-``write`` can leave at most one), and
+truncates the file back to the last good byte before appending again —
+so a torn tail can never poison entries written after resume.
+
+Only a *wrong* journal raises: a file that is not a campaign journal
+at all, or one written by a future format version, is a user error
+(:class:`~repro.integrity.errors.JournalFormatError`), not damage to
+heal silently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.results import RunResult
+from repro.integrity.errors import JournalFormatError
+from repro.runner.jobs import SimJob, canonical_json
+
+#: Journal line-format version; bump on any layout change.
+JOURNAL_FORMAT_VERSION = 1
+
+#: Header magic distinguishing a journal from arbitrary JSON-lines.
+JOURNAL_KIND = "repro-oltp-campaign-journal"
+
+
+@dataclass
+class JournalStats:
+    """What the journal held at open, and what happened since."""
+
+    entries_loaded: int = 0
+    corrupt_skipped: int = 0
+    appended: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "entries_loaded": self.entries_loaded,
+            "corrupt_skipped": self.corrupt_skipped,
+            "appended": self.appended,
+        }
+
+
+class CampaignJournal:
+    """Durable record of completed jobs, keyed by content hash."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.stats = JournalStats()
+        self._results: Dict[str, RunResult] = {}
+        self._fh = None
+        self._good_end = 0  # byte offset after the last valid line
+        self._load()
+
+    # -- recovery --------------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "rb") as fh:
+                raw = fh.read()
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            raise JournalFormatError(
+                f"cannot read journal {self.path!r}: {exc}") from None
+        offset = 0
+        first = True
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                # Torn tail: a write died mid-line.  Discard it; the
+                # file is truncated back to _good_end before appending.
+                self.stats.corrupt_skipped += 1
+                break
+            line = raw[offset:newline]
+            offset = newline + 1
+            if first:
+                self._check_header(line)
+                first = False
+                self._good_end = offset
+                continue
+            if self._absorb_line(line):
+                self._good_end = offset
+            else:
+                self.stats.corrupt_skipped += 1
+
+    def _check_header(self, line: bytes) -> None:
+        try:
+            header = json.loads(line)
+            kind = header.get("kind")
+            version = header.get("format")
+        except (ValueError, AttributeError):
+            kind = version = None
+        if kind != JOURNAL_KIND:
+            raise JournalFormatError(
+                f"{self.path!r} is not a campaign journal"
+            )
+        if not isinstance(version, int) or version > JOURNAL_FORMAT_VERSION:
+            raise JournalFormatError(
+                f"journal {self.path!r} uses format {version!r}; this build "
+                f"reads up to format {JOURNAL_FORMAT_VERSION}"
+            )
+
+    def _absorb_line(self, line: bytes) -> bool:
+        """Validate one entry line; keep it if sound, else reject."""
+        try:
+            entry = json.loads(line)
+            job_hash = entry["job"]
+            payload = entry["result"]
+            if entry["crc32"] != zlib.crc32(
+                    canonical_json(payload).encode()):
+                return False
+            result = RunResult.from_dict(payload)
+        except Exception:
+            # Bad JSON, missing keys, type errors, a payload the
+            # current RunResult cannot read — all mean "not a usable
+            # checkpoint", never an exception.
+            return False
+        self._results[job_hash] = result
+        self.stats.entries_loaded += 1
+        return True
+
+    # -- reads -----------------------------------------------------------------
+
+    def lookup(self, job: SimJob) -> Optional[RunResult]:
+        """The journaled result for ``job``, or ``None``."""
+        return self._results.get(job.content_hash())
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, job: SimJob) -> bool:
+        return job.content_hash() in self._results
+
+    # -- writes ----------------------------------------------------------------
+
+    def _ensure_open(self):
+        if self._fh is not None:
+            return self._fh
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        if os.path.exists(self.path):
+            # Drop any torn tail before appending after it.
+            self._fh = open(self.path, "r+b")
+            self._fh.truncate(self._good_end)
+            self._fh.seek(self._good_end)
+        else:
+            self._fh = open(self.path, "wb")
+            header = canonical_json(
+                {"format": JOURNAL_FORMAT_VERSION, "kind": JOURNAL_KIND}
+            )
+            self._fh.write(header.encode() + b"\n")
+        return self._fh
+
+    def append(self, job: SimJob, result: RunResult) -> None:
+        """Durably record ``result`` for ``job`` (idempotent by hash).
+
+        The line is flushed and fsynced before returning: once the
+        runner moves on, no kill can un-finish this job.
+        """
+        job_hash = job.content_hash()
+        if job_hash in self._results:
+            return
+        payload = result.to_dict()
+        entry = {
+            "job": job_hash,
+            "label": job.label,
+            "crc32": zlib.crc32(canonical_json(payload).encode()),
+            "result": payload,
+        }
+        fh = self._ensure_open()
+        fh.write(canonical_json(entry).encode() + b"\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+        self._results[job_hash] = result
+        self.stats.appended += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            fh, self._fh = self._fh, None
+            try:
+                fh.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -21,6 +21,49 @@ from typing import IO, List, Optional
 
 SOURCE_CACHE = "cache"
 SOURCE_SIMULATED = "simulated"
+SOURCE_JOURNAL = "journal"
+
+
+@dataclass
+class ResilienceStats:
+    """Supervision counters for one campaign: what went wrong, and how
+    the executor absorbed it.  Shared between the runner's telemetry
+    and the :class:`~repro.runner.supervisor.SupervisedExecutor`; the
+    same counts are mirrored into the ``obs`` metrics registry under
+    ``campaign.*`` names."""
+
+    #: Job re-executions scheduled after a transient failure.
+    retries: int = 0
+    #: Jobs that blew their wall-clock deadline.
+    timeouts: int = 0
+    #: Worker-pool breakages observed (dead worker processes).
+    crashes: int = 0
+    #: Pool rebuilds (after a crash or a deadline kill).
+    respawns: int = 0
+    #: In-flight bystander jobs re-queued, uncharged, by a respawn.
+    requeued: int = 0
+    #: Worker results rejected by the envelope checksum.
+    corrupt_results: int = 0
+    #: Jobs that exhausted every retry and failed terminally.
+    failures: int = 0
+
+    @property
+    def eventful(self) -> bool:
+        """True when any supervision event fired (worth a summary)."""
+        return any((self.retries, self.timeouts, self.crashes,
+                    self.respawns, self.requeued, self.corrupt_results,
+                    self.failures))
+
+    def to_dict(self) -> dict:
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "respawns": self.respawns,
+            "requeued": self.requeued,
+            "corrupt_results": self.corrupt_results,
+            "failures": self.failures,
+        }
 
 
 @dataclass
@@ -66,6 +109,7 @@ class CampaignTelemetry:
     records: List[JobRecord] = field(default_factory=list)
     batches: List[BatchRecord] = field(default_factory=list)
     started_at: float = field(default_factory=time.perf_counter)
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     # -- recording -------------------------------------------------------------
 
@@ -93,6 +137,11 @@ class CampaignTelemetry:
         return sum(1 for r in self.records if r.source == SOURCE_CACHE)
 
     @property
+    def journal_hits(self) -> int:
+        """Jobs served from the resume journal instead of simulating."""
+        return sum(1 for r in self.records if r.source == SOURCE_JOURNAL)
+
+    @property
     def hit_rate(self) -> float:
         return self.cache_hits / self.total_jobs if self.total_jobs else 0.0
 
@@ -113,18 +162,29 @@ class CampaignTelemetry:
     # -- rendering -------------------------------------------------------------
 
     def summary_line(self) -> str:
-        return (
+        line = (
             f"campaign summary: jobs={self.total_jobs} "
             f"simulated={self.simulated} cache_hits={self.cache_hits} "
             f"hit_rate={100 * self.hit_rate:.0f}% workers={self.workers} "
             f"wall={self.wall_seconds:.1f}s"
         )
+        if self.journal_hits:
+            line += f" journal_hits={self.journal_hits}"
+        if self.resilience.eventful:
+            r = self.resilience
+            line += (
+                f" retries={r.retries} timeouts={r.timeouts} "
+                f"respawns={r.respawns} failures={r.failures}"
+            )
+        return line
 
     def render(self) -> str:
         """Per-batch table plus the summary line.
 
         Records are grouped by batch in one pass (the table used to
         rescan every record per batch row, O(batches × records)); the
+        ``served`` column counts jobs answered without simulating
+        (result cache, resume journal, or hash-duplicates); the
         ``engine`` column shows each batch's dominant replay engine
         (ties break alphabetically, ``-`` when no record names one).
         """
@@ -141,7 +201,7 @@ class CampaignTelemetry:
                 engines[r.engine] = engines.get(r.engine, 0) + 1
         lines = [
             "campaign telemetry",
-            f"  {'batch':12s} {'jobs':>5s} {'sim':>5s} {'cache':>6s} "
+            f"  {'batch':12s} {'jobs':>5s} {'sim':>5s} {'served':>6s} "
             f"{'wall':>8s} {'engine':>13s}",
         ]
         for batch in self.batches:
@@ -165,6 +225,8 @@ class CampaignTelemetry:
             "jobs": self.total_jobs,
             "simulated": self.simulated,
             "cache_hits": self.cache_hits,
+            "journal_hits": self.journal_hits,
+            "resilience": self.resilience.to_dict(),
             "hit_rate": round(self.hit_rate, 4),
             "simulated_seconds": round(self.simulated_seconds, 3),
             "wall_seconds": round(self.wall_seconds, 3),

@@ -89,13 +89,19 @@ def save_trace_atomic(trace: OltpTrace, path: str) -> None:
     """Write ``trace`` to ``path`` with no torn-write window.
 
     Several campaign processes may race to spill the same trace; each
-    writes a private temporary archive and atomically renames it into
-    place, so readers only ever observe a complete archive (the last
-    writer wins with identical bytes-equivalent content).
+    writes a private temporary archive, fsyncs it, and atomically
+    renames it into place, so readers only ever observe a complete
+    durable archive (the last writer wins with identical
+    bytes-equivalent content) even across a crash or power cut.
     """
     tmp = f"{path}.tmp.{os.getpid()}.npz"
     try:
         save_trace(trace, tmp)
+        fd = os.open(tmp, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
         os.replace(tmp, path)
     finally:
         if os.path.exists(tmp):

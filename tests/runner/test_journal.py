@@ -1,0 +1,129 @@
+"""The checkpoint journal: WAL recovery, idempotence, format guards."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.machine import MachineConfig
+from repro.core.system import simulate
+from repro.integrity import JournalFormatError
+from repro.runner import CampaignJournal, SimJob, TraceSpec
+
+SCALE = 256
+
+
+@pytest.fixture(scope="module")
+def points():
+    """Three simulated (job, result) pairs shared by the module."""
+    spec = TraceSpec(ncpus=1, scale=SCALE, txns=15, warmup_txns=5, seed=3)
+    trace = spec.build()
+    pairs = []
+    for machine in (MachineConfig.integrated_l2(1, scale=SCALE),
+                    MachineConfig.base(1, scale=SCALE),
+                    MachineConfig.fully_integrated(1, scale=SCALE)):
+        job = SimJob(spec=spec, machine=machine)
+        pairs.append((job, simulate(machine, trace)))
+    return pairs
+
+
+def filled(path, points):
+    with CampaignJournal(str(path)) as journal:
+        for job, result in points:
+            journal.append(job, result)
+    return str(path)
+
+
+class TestRoundTrip:
+    def test_append_then_reopen_serves_exact_results(self, tmp_path, points):
+        path = filled(tmp_path / "run.journal", points)
+        reopened = CampaignJournal(path)
+        assert len(reopened) == 3
+        assert reopened.stats.entries_loaded == 3
+        assert reopened.stats.corrupt_skipped == 0
+        for job, result in points:
+            assert job in reopened
+            assert reopened.lookup(job).to_dict() == result.to_dict()
+
+    def test_missing_file_is_an_empty_journal(self, tmp_path, points):
+        journal = CampaignJournal(str(tmp_path / "absent.journal"))
+        job, _ = points[0]
+        assert len(journal) == 0
+        assert journal.lookup(job) is None
+        assert job not in journal
+
+    def test_append_is_idempotent_by_hash(self, tmp_path, points):
+        job, result = points[0]
+        with CampaignJournal(str(tmp_path / "j")) as journal:
+            journal.append(job, result)
+            journal.append(job, result)
+            assert journal.stats.appended == 1
+        lines = (tmp_path / "j").read_bytes().splitlines()
+        assert len(lines) == 2  # header + one entry
+
+
+class TestRecovery:
+    def test_torn_tail_is_dropped_then_overwritten(self, tmp_path, points):
+        path = filled(tmp_path / "j", points[:2])
+        with open(path, "ab") as fh:
+            fh.write(b'{"job": "half-written')  # kill mid-append, no newline
+
+        reopened = CampaignJournal(path)
+        assert reopened.stats.entries_loaded == 2
+        assert reopened.stats.corrupt_skipped == 1
+
+        # Appending after recovery truncates the torn bytes away.
+        job3, result3 = points[2]
+        reopened.append(job3, result3)
+        reopened.close()
+        final = CampaignJournal(path)
+        assert final.stats.entries_loaded == 3
+        assert final.stats.corrupt_skipped == 0
+
+    def test_corrupt_middle_line_skips_only_that_entry(self, tmp_path, points):
+        path = filled(tmp_path / "j", points)
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        lines[2] = b'{"job": "x", "crc32": 1, "result": {}}\n'
+        open(path, "wb").write(b"".join(lines))
+
+        reopened = CampaignJournal(path)
+        assert reopened.stats.entries_loaded == 2
+        assert reopened.stats.corrupt_skipped == 1
+        assert reopened.lookup(points[0][0]) is not None
+        assert reopened.lookup(points[1][0]) is None
+        assert reopened.lookup(points[2][0]) is not None
+
+    def test_checksum_mismatch_rejects_entry(self, tmp_path, points):
+        path = filled(tmp_path / "j", points[:1])
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        entry = json.loads(lines[1])
+        entry["result"]["measured_txns"] += 1  # tamper, CRC now stale
+        lines[1] = json.dumps(entry).encode() + b"\n"
+        open(path, "wb").write(b"".join(lines))
+
+        reopened = CampaignJournal(path)
+        assert reopened.stats.entries_loaded == 0
+        assert reopened.stats.corrupt_skipped == 1
+
+
+class TestFormatGuards:
+    def test_non_journal_file_raises(self, tmp_path):
+        path = tmp_path / "notes.txt"
+        path.write_text("not a journal\n")
+        with pytest.raises(JournalFormatError):
+            CampaignJournal(str(path))
+
+    def test_json_lines_without_magic_raise(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"kind": "something-else", "format": 1}\n')
+        with pytest.raises(JournalFormatError):
+            CampaignJournal(str(path))
+
+    def test_future_format_version_raises(self, tmp_path):
+        path = tmp_path / "future.journal"
+        path.write_text(
+            '{"format": 999, "kind": "repro-oltp-campaign-journal"}\n'
+        )
+        with pytest.raises(JournalFormatError):
+            CampaignJournal(str(path))

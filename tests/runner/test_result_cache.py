@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
 from repro.core.machine import MachineConfig
 from repro.core.system import simulate
+from repro.obs import MetricsRegistry, use_metrics
 from repro.runner import ResultCache, SimJob, TraceSpec
 
 SCALE = 128
@@ -122,6 +124,46 @@ class TestFailSoft:
         self._rewrite(cache, job, lambda e: e.pop("result"))
         assert cache.load(job) is None
         assert cache.stats.rejected == 1
+
+    @pytest.mark.skipif(os.geteuid() == 0,
+                        reason="root ignores permission bits")
+    def test_unreadable_entry(self, tmp_path, point):
+        job, _ = point
+        cache = self._primed(tmp_path, point)
+        os.chmod(cache.path_for(job), 0o000)
+        try:
+            assert cache.load(job) is None
+            assert cache.stats.rejected == 1
+        finally:
+            os.chmod(cache.path_for(job), 0o644)
+
+    def test_directory_as_entry(self, tmp_path, point):
+        job, _ = point
+        cache = ResultCache(str(tmp_path))
+        os.makedirs(cache.path_for(job))
+        assert cache.load(job) is None
+        assert cache.stats.rejected == 1
+
+    def test_rejections_count_into_metrics(self, tmp_path, point):
+        job, _ = point
+        cache = self._primed(tmp_path, point)
+        with open(cache.path_for(job), "wb") as fh:
+            fh.write(b"garbage")
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            cache.load(job)
+            cache.load(job)
+        assert registry.counters.get("cache.corrupt_skipped") == 2
+
+    def test_clean_lookups_do_not_count(self, tmp_path, point):
+        job, result = point
+        cache = ResultCache(str(tmp_path))
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            cache.load(job)  # plain miss: absent, not corrupt
+            cache.store(job, result)
+            cache.load(job)  # hit
+        assert registry.counters.get("cache.corrupt_skipped", 0) == 0
 
     def test_overwrite_heals_bad_entry(self, tmp_path, point):
         job, result = point

@@ -9,6 +9,7 @@ import pytest
 
 from repro.runner.telemetry import (
     SOURCE_CACHE,
+    SOURCE_JOURNAL,
     SOURCE_SIMULATED,
     CampaignTelemetry,
     NullProgress,
@@ -62,11 +63,28 @@ class TestGoldenRender:
     def test_render_table(self, frozen_wall):
         assert sample_telemetry().render() == (
             "campaign telemetry\n"
-            "  batch         jobs   sim  cache     wall        engine\n"
+            "  batch         jobs   sim served     wall        engine\n"
             "  fig5             3     2      1     6.5s    vectorized\n"
             "  fig8             1     0      1     0.1s vectorized-mp\n"
             "campaign summary: jobs=4 simulated=2 cache_hits=2 "
             "hit_rate=50% workers=4 wall=1.3s"
+        )
+
+    def test_summary_stays_quiet_without_events(self, frozen_wall):
+        # A clean campaign shows no journal or resilience fields at all.
+        line = sample_telemetry().summary_line()
+        assert "journal" not in line
+        assert "retries" not in line
+
+    def test_summary_shows_journal_and_resilience_events(self, frozen_wall):
+        t = sample_telemetry()
+        t.record("1M8w", "fig8", "eee", 0.0, SOURCE_JOURNAL, "fast")
+        t.resilience.retries = 2
+        t.resilience.timeouts = 1
+        t.resilience.respawns = 1
+        assert t.journal_hits == 1
+        assert t.summary_line().endswith(
+            "journal_hits=1 retries=2 timeouts=1 respawns=1 failures=0"
         )
 
     def test_dominant_engine_ties_break_alphabetically(self, frozen_wall):
