@@ -81,7 +81,7 @@ class CampaignReport:
         """True when every figure completed with every job succeeding."""
         return not self.failures
 
-    def render(self) -> str:
+    def render(self, color: bool = False) -> str:
         parts = [text for _, text in self.figures]
         if self.failures:
             lines = ["campaign failures"]
@@ -93,7 +93,7 @@ class CampaignReport:
                     )
             parts.append("\n".join(lines))
         if self.telemetry is not None:
-            parts.append(self.telemetry.render())
+            parts.append(self.telemetry.render(color=color))
         return "\n\n".join(parts)
 
     def failure_report(self) -> dict:

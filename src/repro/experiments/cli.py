@@ -9,11 +9,14 @@ Usage::
     repro-oltp campaign fig5,fig6 --resume run.journal   # subset, resumable
     repro-oltp profile fig6        # figure + self-time table + Chrome trace
     repro-oltp fig8 --metrics-out fig8.json   # per-quantum metric series
+    repro-oltp serve --port 8077 --journal svc.journal   # job service
+    repro-oltp loadgen --requests 500 --mix 80:20        # drive the service
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -49,7 +52,77 @@ from repro.obs import (
 from repro.runner import JobFailed
 
 FIGURES = ("fig3", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13")
-EXTRAS = ("ablations", "selftest", "campaign", "profile")
+EXTRAS = ("ablations", "selftest", "campaign", "profile", "serve", "loadgen")
+
+
+def _version_string() -> str:
+    from repro.version import version_string
+
+    return version_string()
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """The ``repro-oltp serve`` verb: run the HTTP job service."""
+    from repro.runner import CampaignJournal, ResultCache
+    from repro.runner.tracestore import default_trace_store
+    from repro.service import JobService, run_server
+
+    store = default_trace_store()
+    previous_spill = store.spill_dir
+    cache = None
+    if args.cache_dir:
+        os.makedirs(args.cache_dir, exist_ok=True)
+        store.spill_dir = os.path.join(args.cache_dir, "traces")
+        if not args.no_cache:
+            cache = ResultCache(os.path.join(args.cache_dir, "results"))
+    journal = CampaignJournal(args.journal) if args.journal else None
+    service = JobService(
+        workers=args.jobs or default_jobs(),
+        cache=cache,
+        journal=journal,
+        trace_store=store,
+        queue_limit=args.queue_limit,
+        job_timeout=args.job_timeout,
+        max_retries=args.max_retries,
+    )
+    try:
+        return run_server(service, args.host, args.port,
+                          drain_timeout=args.drain_timeout)
+    finally:
+        store.spill_dir = previous_spill
+
+
+def _loadgen(args: argparse.Namespace, settings: Settings,
+             figures) -> int:
+    """The ``repro-oltp loadgen`` verb: drive a running service."""
+    from repro.service import figure_jobs, perturbed_jobs
+    from repro.service.loadgen import generate, parse_mix
+    from repro.service.loadgen import render as render_load
+
+    mix = parse_mix(args.mix)
+    warm = figure_jobs(figures, settings)
+    warm_w, cold_w = mix
+    cold_count = (
+        -(-args.requests * cold_w // (warm_w + cold_w)) if cold_w else 0
+    )
+    cold = perturbed_jobs(cold_count, settings)
+    report = generate(
+        args.url, warm, cold,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        mix=mix,
+        poll_timeout=args.poll_timeout,
+        prime=not args.no_prime,
+    )
+    print(render_load(report))
+    if args.report:
+        parent = os.path.dirname(args.report)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"[loadgen report: {args.report}]")
+    return 0 if report["ok"] else 1
 
 
 def _settings(args: argparse.Namespace) -> Settings:
@@ -126,12 +199,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             "Performance of OLTP Workloads' (HPCA 2000)."
         ),
     )
+    parser.add_argument("--version", action="version",
+                        version=_version_string())
     parser.add_argument("figure", choices=FIGURES + EXTRAS + ("all",),
                         help="which figure (or extra study) to reproduce")
     parser.add_argument("target", nargs="?", default=None,
                         help="figure to profile (for the 'profile' verb) or "
                              "a comma-separated figure subset (for "
-                             "'campaign')")
+                             "'campaign' and 'loadgen')")
     parser.add_argument("--scale", type=int, default=0,
                         help="workload/cache scale-down factor (default 32)")
     parser.add_argument("--uni-txns", type=int, default=0,
@@ -184,9 +259,49 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write the run's metrics and per-quantum "
                              "series (.csv suffix selects CSV, else JSON)")
+    parser.add_argument("--json", action="store_true",
+                        help="selftest: print the machine-readable report "
+                             "instead of text")
+    service = parser.add_argument_group("service mode (serve / loadgen)")
+    service.add_argument("--host", default="127.0.0.1",
+                         help="serve: bind address (default 127.0.0.1)")
+    service.add_argument("--port", type=int, default=8077,
+                         help="serve: TCP port; 0 picks an ephemeral port "
+                              "(default 8077)")
+    service.add_argument("--queue-limit", type=int, default=1024, metavar="N",
+                         help="serve: bounded submission queue size "
+                              "(default 1024)")
+    service.add_argument("--journal", metavar="PATH", default=None,
+                         help="serve: journal accepted and completed jobs "
+                              "here; restarting on the same journal "
+                              "resumes unfinished work")
+    service.add_argument("--drain-timeout", type=float, default=60.0,
+                         metavar="SECONDS",
+                         help="serve: max seconds to finish queued work on "
+                              "SIGTERM/SIGINT (default 60)")
+    service.add_argument("--url", default="http://127.0.0.1:8077",
+                         help="loadgen: service base URL")
+    service.add_argument("--concurrency", type=int, default=32, metavar="N",
+                         help="loadgen: concurrent keep-alive workers "
+                              "(default 32)")
+    service.add_argument("--requests", type=int, default=200, metavar="N",
+                         help="loadgen: measured submissions (default 200)")
+    service.add_argument("--mix", default="80:20", metavar="WARM:COLD",
+                         help="loadgen: warm:cold submission ratio "
+                              "(default 80:20)")
+    service.add_argument("--no-prime", action="store_true",
+                         help="loadgen: skip the unmeasured warm-corpus "
+                              "priming phase")
+    service.add_argument("--poll-timeout", type=float, default=300.0,
+                         metavar="SECONDS",
+                         help="loadgen: per-job completion deadline "
+                              "(default 300)")
+    service.add_argument("--report", metavar="PATH", default=None,
+                         help="loadgen: write the JSON report here")
     args = parser.parse_args(argv)
 
     campaign_figures = FIGURES
+    loadgen_figures = ("fig5",)
     if args.figure == "profile":
         if args.target not in FIGURES:
             parser.error(
@@ -203,22 +318,55 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"unknown campaign figure(s) {', '.join(unknown)} "
                 f"(choose from {', '.join(FIGURES)})"
             )
+    elif args.figure == "loadgen" and args.target is not None:
+        from repro.service.corpus import CORPUS_FIGURES
+
+        loadgen_figures = tuple(
+            name for name in args.target.split(",") if name
+        )
+        unknown = [n for n in loadgen_figures if n not in CORPUS_FIGURES]
+        if unknown:
+            parser.error(
+                f"unknown loadgen corpus figure(s) {', '.join(unknown)} "
+                f"(choose from {', '.join(CORPUS_FIGURES)})"
+            )
     elif args.target is not None:
         parser.error(
-            "a target only applies to the 'profile' and 'campaign' verbs"
+            "a target only applies to the 'profile', 'campaign' and "
+            "'loadgen' verbs"
         )
 
     settings = _settings(args)
+    if args.figure in ("serve", "loadgen") and not (
+            args.quick or args.scale or args.uni_txns or args.mp_txns):
+        # Service corpora default to quick sizes: the loadgen's jobs
+        # must stay cheap enough to submit by the thousand.
+        base = Settings.quick()
+        settings = Settings(scale=base.scale, uni_txns=base.uni_txns,
+                            mp_txns=base.mp_txns, seed=args.seed,
+                            check=args.check)
     completed: List[str] = []
     profiling = args.figure == "profile"
+    serving = args.figure == "serve"
     # Observability is opt-in per invocation: the profile verb and the
     # --trace-out/--metrics-out flags install a real tracer/registry;
     # everything else runs against the zero-overhead null objects.
+    # The service always keeps a live metrics registry (surfaced via
+    # GET /stats) but no tracer — spans would grow without bound over
+    # a server's lifetime.
     want_obs = bool(profiling or args.trace_out or args.metrics_out)
     tracer = Tracer() if want_obs else NULL_TRACER
-    registry = MetricsRegistry() if want_obs else NULL_METRICS
+    registry = (
+        MetricsRegistry() if want_obs or serving else NULL_METRICS
+    )
 
     def dispatch() -> int:
+        if args.figure == "serve":
+            return _serve(args)
+
+        if args.figure == "loadgen":
+            return _loadgen(args, settings, loadgen_figures)
+
         if args.figure == "campaign":
             chaos = None
             if args.chaos:
@@ -257,7 +405,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             # Selftest defaults to quick sizes unless explicitly overridden.
             sized = args.quick or args.scale or args.uni_txns or args.mp_txns
             report = selftest.run(settings if sized else None)
-            print(report.render())
+            if args.json:
+                print(json.dumps(report.to_dict(), indent=2,
+                                 sort_keys=True))
+            else:
+                print(report.render())
             return 0 if report.passed else 1
 
         if profiling:

@@ -68,6 +68,25 @@ class CampaignJobError(ReproError, RuntimeError):
         )
 
 
+class ServiceError(ReproError, RuntimeError):
+    """Base class for job-service submission rejections.
+
+    These map onto HTTP statuses at the service boundary (the wire
+    taxonomy): :class:`QueueFullError` and
+    :class:`ServiceUnavailableError` become 503 responses a client may
+    retry, while :class:`ConfigError` from a malformed job spec
+    becomes a 400 it must not.
+    """
+
+
+class QueueFullError(ServiceError):
+    """The service's bounded submission queue is at capacity."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service is draining or stopped and accepts no new jobs."""
+
+
 class StateError(ReproError, RuntimeError):
     """An object was driven through an illegal lifecycle transition
     (e.g. reusing a single-use :class:`~repro.core.system.System`)."""

@@ -33,10 +33,18 @@ from repro.trace.synthetic import make_trace
 
 @dataclass
 class SelftestReport:
-    """Outcome of one selftest invocation."""
+    """Outcome of one selftest invocation.
+
+    Every check is kept twice: as a pre-formatted text line (the
+    historical ``render`` output) and as a structured record in
+    ``checks``, so ``repro-oltp selftest --json`` and the service
+    health surface can consume the same run machine-readably.
+    """
 
     lines: List[str] = field(default_factory=list)
     failures: int = 0
+    checks: List[dict] = field(default_factory=list)
+    _section: str = ""
 
     @property
     def passed(self) -> bool:
@@ -44,12 +52,19 @@ class SelftestReport:
 
     def ok(self, message: str) -> None:
         self.lines.append(f"  ok    {message}")
+        self.checks.append(
+            {"section": self._section, "status": "ok", "message": message}
+        )
 
     def fail(self, message: str) -> None:
         self.failures += 1
         self.lines.append(f"  FAIL  {message}")
+        self.checks.append(
+            {"section": self._section, "status": "fail", "message": message}
+        )
 
     def section(self, title: str) -> None:
+        self._section = title.rstrip(":")
         self.lines.append(title)
 
     def render(self) -> str:
@@ -58,6 +73,17 @@ class SelftestReport:
             else f"selftest FAILED ({self.failures} failure(s))"
         )
         return "\n".join(["repro-oltp integrity selftest", *self.lines, verdict])
+
+    def to_dict(self) -> dict:
+        """The machine-readable report (``selftest --json``, CI)."""
+        from repro.version import version_info
+
+        return {
+            "passed": self.passed,
+            "failures": self.failures,
+            "checks": list(self.checks),
+            "version": version_info(),
+        }
 
 
 def _synthetic_trace(ncpus: int = 4, quanta: int = 120, seed: int = 5):

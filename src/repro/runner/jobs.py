@@ -21,6 +21,7 @@ import json
 from dataclasses import dataclass
 
 from repro.core.machine import MachineConfig
+from repro.integrity.errors import ConfigError
 from repro.runner.tracestore import TraceSpec
 from repro.trace.storage import FORMAT_VERSION
 
@@ -74,3 +75,52 @@ class SimJob:
         return hashlib.sha256(
             canonical_json(self.payload()).encode()
         ).hexdigest()
+
+    # -- wire format -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The version-free wire form (service submissions, journals).
+
+        Unlike :meth:`payload`, the version numbers are *not* part of
+        the encoding: a reader hashes the job under its own versions,
+        so a spec submitted to a newer build simply resolves to a new
+        content hash instead of smuggling stale semantics in.
+        """
+        return {
+            "trace": self.spec.to_dict(),
+            "machine": self.machine.to_dict(),
+            "check": self.check,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimJob":
+        """Rebuild a job from its wire form; :class:`ConfigError` on
+        anything malformed (missing keys, wrong types, invalid machine
+        geometry) so transports can map every bad spec to one error
+        class."""
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"job spec must be an object, got {type(data).__name__}"
+            )
+        try:
+            trace = data["trace"]
+            spec = TraceSpec(
+                ncpus=int(trace["ncpus"]),
+                scale=int(trace["scale"]),
+                txns=int(trace["txns"]),
+                seed=int(trace["seed"]),
+                warmup_txns=(
+                    None if trace.get("warmup_txns") is None
+                    else int(trace["warmup_txns"])
+                ),
+            )
+            machine = MachineConfig.from_dict(data["machine"])
+            check = data.get("check", "off")
+        except ConfigError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed job spec: {exc}") from None
+        try:
+            return cls(spec=spec, machine=machine, check=check)
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from None

@@ -21,6 +21,14 @@ Only a *wrong* journal raises: a file that is not a campaign journal
 at all, or one written by a future format version, is a user error
 (:class:`~repro.integrity.errors.JournalFormatError`), not damage to
 heal silently.
+
+Service mode adds a second record kind: an **accept** line — the full
+wire form of a job the server promised a client it would run — written
+before dispatch, so a SIGKILLed server re-queues every unfinished
+accepted job on restart (:meth:`CampaignJournal.pending_jobs`).
+Campaign ``--resume`` readers skip accept lines transparently; the
+line format version is unchanged because every reader of version 1
+handles both kinds.
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ import json
 import os
 import zlib
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.core.results import RunResult
 from repro.integrity.errors import JournalFormatError
@@ -49,12 +57,18 @@ class JournalStats:
     entries_loaded: int = 0
     corrupt_skipped: int = 0
     appended: int = 0
+    #: Accepted-job records recovered at open (service mode).
+    accepts_loaded: int = 0
+    #: Accepted-job records written since open.
+    accepts_appended: int = 0
 
     def to_dict(self) -> dict:
         return {
             "entries_loaded": self.entries_loaded,
             "corrupt_skipped": self.corrupt_skipped,
             "appended": self.appended,
+            "accepts_loaded": self.accepts_loaded,
+            "accepts_appended": self.accepts_appended,
         }
 
 
@@ -65,6 +79,10 @@ class CampaignJournal:
         self.path = path
         self.stats = JournalStats()
         self._results: Dict[str, RunResult] = {}
+        #: Accepted-but-not-necessarily-finished jobs, in accept order
+        #: (service mode writes these so a killed server can re-queue
+        #: unfinished work on restart).
+        self._accepted: Dict[str, SimJob] = {}
         self._fh = None
         self._good_end = 0  # byte offset after the last valid line
         self._load()
@@ -122,6 +140,8 @@ class CampaignJournal:
         """Validate one entry line; keep it if sound, else reject."""
         try:
             entry = json.loads(line)
+            if "accept" in entry:
+                return self._absorb_accept(entry)
             job_hash = entry["job"]
             payload = entry["result"]
             if entry["crc32"] != zlib.crc32(
@@ -137,11 +157,55 @@ class CampaignJournal:
         self.stats.entries_loaded += 1
         return True
 
+    def _absorb_accept(self, entry: dict) -> bool:
+        """One accepted-job record: the spec of work promised but not
+        yet finished when this line was written."""
+        try:
+            job_hash = entry["job"]
+            payload = entry["accept"]
+            if entry["crc32"] != zlib.crc32(
+                    canonical_json(payload).encode()):
+                return False
+            job = SimJob.from_dict(payload)
+        except Exception:
+            return False
+        if job.content_hash() != job_hash:
+            # The spec no longer hashes to what was promised (edited
+            # file, version drift): not a usable acceptance.
+            return False
+        self._accepted.setdefault(job_hash, job)
+        self.stats.accepts_loaded += 1
+        return True
+
     # -- reads -----------------------------------------------------------------
 
     def lookup(self, job: SimJob) -> Optional[RunResult]:
         """The journaled result for ``job``, or ``None``."""
         return self._results.get(job.content_hash())
+
+    def lookup_hash(self, job_hash: str) -> Optional[RunResult]:
+        """The journaled result for a content hash, or ``None``."""
+        return self._results.get(job_hash)
+
+    def accepted_jobs(self) -> List[SimJob]:
+        """Every accepted job, in accept order (finished or not).
+
+        A restarted service materializes its job table from this:
+        hashes with a journaled result are born done, the rest
+        re-queue, so clients polling an id across the restart keep
+        getting answers instead of 404s.
+        """
+        return list(self._accepted.values())
+
+    def pending_jobs(self) -> List[SimJob]:
+        """Accepted jobs with no journaled result, in accept order.
+
+        This is the service's restart contract: everything promised to
+        a client (an ``accept`` record was fsynced) but unfinished when
+        the process died must be re-queued on the next start.
+        """
+        return [job for job_hash, job in self._accepted.items()
+                if job_hash not in self._results]
 
     def __len__(self) -> int:
         return len(self._results)
@@ -169,6 +233,30 @@ class CampaignJournal:
             )
             self._fh.write(header.encode() + b"\n")
         return self._fh
+
+    def accept(self, job: SimJob) -> None:
+        """Durably record that ``job`` was accepted for execution.
+
+        Idempotent by hash; a job that already has a journaled result
+        needs no acceptance.  Once this returns, a crash at any later
+        instant leaves a record from which the job can be re-queued.
+        """
+        job_hash = job.content_hash()
+        if job_hash in self._accepted or job_hash in self._results:
+            return
+        payload = job.to_dict()
+        entry = {
+            "accept": payload,
+            "job": job_hash,
+            "label": job.label,
+            "crc32": zlib.crc32(canonical_json(payload).encode()),
+        }
+        fh = self._ensure_open()
+        fh.write(canonical_json(entry).encode() + b"\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+        self._accepted[job_hash] = job
+        self.stats.accepts_appended += 1
 
     def append(self, job: SimJob, result: RunResult) -> None:
         """Durably record ``result`` for ``job`` (idempotent by hash).

@@ -14,6 +14,7 @@ CI greps ``simulated=0`` on a warm cache; the benchmark harness dumps
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from dataclasses import dataclass, field
@@ -22,6 +23,39 @@ from typing import IO, List, Optional
 SOURCE_CACHE = "cache"
 SOURCE_SIMULATED = "simulated"
 SOURCE_JOURNAL = "journal"
+
+# -- terminal capability ------------------------------------------------------
+
+#: Environment override: any non-empty value disables ANSI everywhere,
+#: even on a TTY (service logs, CI steps that allocate a pty, ...).
+NO_ANSI_ENV = "REPRO_NO_ANSI"
+
+_RESET = "\x1b[0m"
+_DIM = "\x1b[2m"
+_GREEN = "\x1b[32m"
+_CYAN = "\x1b[36m"
+_BOLD = "\x1b[1m"
+
+
+def ansi_enabled(stream) -> bool:
+    """Whether ``stream`` should receive ANSI styling.
+
+    True only for a real TTY with :data:`NO_ANSI_ENV` unset — pipes,
+    files, service logs, and ``REPRO_NO_ANSI=1`` all get plain text,
+    so redirected output never carries escape codes or carriage
+    returns.
+    """
+    if os.environ.get(NO_ANSI_ENV):
+        return False
+    isatty = getattr(stream, "isatty", None)
+    try:
+        return bool(isatty and isatty())
+    except (ValueError, OSError):  # closed or detached stream
+        return False
+
+
+def _style(text: str, code: str, enabled: bool) -> str:
+    return f"{code}{text}{_RESET}" if enabled else text
 
 
 @dataclass
@@ -178,7 +212,7 @@ class CampaignTelemetry:
             )
         return line
 
-    def render(self) -> str:
+    def render(self, color: bool = False) -> str:
         """Per-batch table plus the summary line.
 
         Records are grouped by batch in one pass (the table used to
@@ -187,6 +221,10 @@ class CampaignTelemetry:
         (result cache, resume journal, or hash-duplicates); the
         ``engine`` column shows each batch's dominant replay engine
         (ties break alphabetically, ``-`` when no record names one).
+
+        ``color`` opts into ANSI styling of the header and summary; it
+        defaults to off and callers should gate it on
+        :func:`ansi_enabled` so logs and pipes stay escape-free.
         """
         grouped: dict = {}
         for r in self.records:
@@ -200,9 +238,12 @@ class CampaignTelemetry:
                 engines = agg["engines"]
                 engines[r.engine] = engines.get(r.engine, 0) + 1
         lines = [
-            "campaign telemetry",
-            f"  {'batch':12s} {'jobs':>5s} {'sim':>5s} {'served':>6s} "
-            f"{'wall':>8s} {'engine':>13s}",
+            _style("campaign telemetry", _BOLD, color),
+            _style(
+                f"  {'batch':12s} {'jobs':>5s} {'sim':>5s} {'served':>6s} "
+                f"{'wall':>8s} {'engine':>13s}",
+                _DIM, color,
+            ),
         ]
         for batch in self.batches:
             agg = grouped.get(batch.name, {"jobs": 0, "sim": 0, "engines": {}})
@@ -216,7 +257,7 @@ class CampaignTelemetry:
                 f"{agg['jobs'] - agg['sim']:6d} {batch.seconds:7.1f}s "
                 f"{dominant:>13s}"
             )
-        lines.append(self.summary_line())
+        lines.append(_style(self.summary_line(), _BOLD, color))
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -250,9 +291,15 @@ class ProgressPrinter:
     """
 
     def __init__(self, telemetry: CampaignTelemetry,
-                 stream: Optional[IO[str]] = None):
+                 stream: Optional[IO[str]] = None,
+                 ansi: Optional[bool] = None):
         self.telemetry = telemetry
         self.stream = stream if stream is not None else sys.stderr
+        #: ANSI styling: auto-detected from the stream (TTY only, see
+        #: :func:`ansi_enabled`) unless forced by the caller.  Plain
+        #: newline-terminated lines either way — non-TTY consumers
+        #: (service logs, CI) never see escape codes.
+        self.ansi = ansi_enabled(self.stream) if ansi is None else bool(ansi)
         self._batch = ""
         self._total = 0
         self._done = 0
@@ -279,11 +326,21 @@ class ProgressPrinter:
         )
         eta = (remaining_sim * self.telemetry.mean_sim_seconds()
                / max(1, self.telemetry.workers))
-        suffix = f" | eta {eta:.1f}s" if remaining_sim and eta else ""
+        suffix = (
+            _style(f" | eta {eta:.1f}s", _DIM, self.ansi)
+            if remaining_sim and eta else ""
+        )
+        source = _style(
+            record.source,
+            _CYAN if record.source == SOURCE_SIMULATED else _GREEN,
+            self.ansi,
+        )
+        counter = _style(
+            f"[{self._batch} {self._done}/{self._total}]", _DIM, self.ansi
+        )
         print(
-            f"  [{self._batch} {self._done}/{self._total}] "
-            f"{record.label}: {record.seconds:.2f}s ({record.source})"
-            f"{suffix}",
+            f"  {counter} "
+            f"{record.label}: {record.seconds:.2f}s ({source}){suffix}",
             file=self.stream,
         )
 

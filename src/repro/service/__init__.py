@@ -1,0 +1,36 @@
+"""Campaign service mode: an always-on simulation job service.
+
+This package promotes the batch campaign pipeline to a long-running
+server: :class:`~repro.service.core.JobService` owns the bounded
+queue, structural dedup, cache/journal warm paths and the supervised
+worker pool; :mod:`repro.service.http` exposes it over a stdlib-only
+HTTP/JSON API (``repro-oltp serve``); :mod:`repro.service.loadgen`
+drives it with thousands of concurrent submissions
+(``repro-oltp loadgen``); :mod:`repro.service.corpus` supplies the
+warm (figure-driver) and cold (perturbed) job corpora both use.
+"""
+
+from repro.service.core import JobService, ServiceCounters
+from repro.service.corpus import figure_jobs, perturbed_jobs
+from repro.service.http import ServiceHTTPServer, run_server
+from repro.service.state import (
+    STATUS_DONE,
+    STATUS_FAILED,
+    STATUS_QUEUED,
+    STATUS_RUNNING,
+    JobEntry,
+)
+
+__all__ = [
+    "JobService",
+    "ServiceCounters",
+    "ServiceHTTPServer",
+    "run_server",
+    "figure_jobs",
+    "perturbed_jobs",
+    "JobEntry",
+    "STATUS_QUEUED",
+    "STATUS_RUNNING",
+    "STATUS_DONE",
+    "STATUS_FAILED",
+]

@@ -1,0 +1,64 @@
+"""Build identity: package version plus every format/semantics version.
+
+One place answers "exactly what build is this?" for the ``--version``
+flag, the service ``/healthz`` endpoint, and machine-readable reports.
+The payload combines the installed package version (from package
+metadata, falling back to the source default when the project is run
+from a checkout without installation) with the internal version
+numbers that govern cache and archive compatibility:
+
+* :data:`repro.runner.jobs.CODE_VERSION` — simulation semantics,
+* :data:`repro.trace.storage.FORMAT_VERSION` — trace archive layout,
+* :data:`repro.runner.cache.CACHE_FORMAT_VERSION` — result-cache entry
+  layout,
+* :data:`repro.runner.journal.JOURNAL_FORMAT_VERSION` — campaign
+  journal layout.
+"""
+
+from __future__ import annotations
+
+import platform
+
+#: Source-tree fallback when package metadata is unavailable (running
+#: from a checkout via ``PYTHONPATH=src`` without ``pip install``).
+FALLBACK_VERSION = "1.0.0"
+
+
+def package_version() -> str:
+    """The installed distribution version, or the source fallback."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - python < 3.8
+        return FALLBACK_VERSION
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return FALLBACK_VERSION
+
+
+def version_info() -> dict:
+    """The full build-identity payload (JSON-safe)."""
+    from repro.runner.cache import CACHE_FORMAT_VERSION
+    from repro.runner.jobs import CODE_VERSION
+    from repro.runner.journal import JOURNAL_FORMAT_VERSION
+    from repro.trace.storage import FORMAT_VERSION
+
+    return {
+        "package": package_version(),
+        "code_version": CODE_VERSION,
+        "trace_format": FORMAT_VERSION,
+        "cache_format": CACHE_FORMAT_VERSION,
+        "journal_format": JOURNAL_FORMAT_VERSION,
+        "python": platform.python_version(),
+    }
+
+
+def version_string() -> str:
+    """One line for ``repro-oltp --version``."""
+    info = version_info()
+    return (
+        f"repro-oltp {info['package']} "
+        f"(code version {info['code_version']}, "
+        f"trace format {info['trace_format']}, "
+        f"python {info['python']})"
+    )

@@ -92,6 +92,35 @@ class TestMain:
         assert code == 0
         assert (tmp_path / "new_dir").is_dir()
 
+    def test_version_flag_prints_build_identity(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["--version"])
+        assert exit_info.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro-oltp ")
+        assert "code version" in out
+
+    def test_serve_accepted_as_choice(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--no-such-flag"])
+
+    def test_loadgen_accepted_as_choice(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["loadgen", "--no-such-flag"])
+
+    def test_loadgen_bad_corpus_target_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["loadgen", "fig99"])
+        assert exit_info.value.code == 2
+        assert "fig99" in capsys.readouterr().err
+
+    def test_loadgen_bad_mix_rejected(self, capsys):
+        code = main(["loadgen", "--mix", "nonsense"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "repro-oltp:" in err
+        assert "Traceback" not in err
+
     def test_keyboard_interrupt_reports_completed(self, capsys, monkeypatch):
         import repro.experiments.cli as cli
 

@@ -1,0 +1,59 @@
+"""SelftestReport: structured checks and the machine-readable dict."""
+
+from __future__ import annotations
+
+import json
+
+from repro.integrity.selftest import SelftestReport
+
+
+def sample_report() -> SelftestReport:
+    report = SelftestReport()
+    report.section("trace generation:")
+    report.ok("trace builds")
+    report.ok("checksums stable")
+    report.section("coherence:")
+    report.fail("dirty line count drifted")
+    return report
+
+
+class TestChecks:
+    def test_checks_mirror_lines_with_sections(self):
+        report = sample_report()
+        assert report.checks == [
+            {"section": "trace generation", "status": "ok",
+             "message": "trace builds"},
+            {"section": "trace generation", "status": "ok",
+             "message": "checksums stable"},
+            {"section": "coherence", "status": "fail",
+             "message": "dirty line count drifted"},
+        ]
+
+    def test_failures_and_verdict(self):
+        report = sample_report()
+        assert report.failures == 1
+        assert report.passed is False
+        assert "FAIL" in report.render()
+
+    def test_clean_report_passes(self):
+        report = SelftestReport()
+        report.section("x:")
+        report.ok("fine")
+        assert report.passed is True
+        assert report.render().endswith("PASSED")
+
+
+class TestToDict:
+    def test_shape_and_json_round_trip(self):
+        data = json.loads(json.dumps(sample_report().to_dict()))
+        assert data["passed"] is False
+        assert data["failures"] == 1
+        assert len(data["checks"]) == 3
+        assert data["checks"][0]["status"] == "ok"
+
+    def test_carries_build_identity(self):
+        data = sample_report().to_dict()
+        assert set(data["version"]) >= {
+            "package", "code_version", "trace_format",
+            "cache_format", "journal_format",
+        }

@@ -177,6 +177,66 @@ class TestFailSoft:
         assert healed.to_dict() == result.to_dict()
 
 
+class TestConcurrentAccess:
+    """Two processes hammering the same hash: stores are atomic
+    (tmp file + ``os.replace``), so a reader sees either a miss or a
+    complete valid entry — never torn bytes, never a corrupt-skip."""
+
+    WORKER = """
+import sys
+
+from repro.core.machine import MachineConfig
+from repro.core.system import simulate
+from repro.obs import MetricsRegistry, use_metrics
+from repro.runner import ResultCache, SimJob, TraceSpec
+
+cache_dir, rounds = sys.argv[1], int(sys.argv[2])
+spec = TraceSpec(ncpus=1, scale=128, txns=30, warmup_txns=10, seed=11)
+machine = MachineConfig.integrated_l2(1, scale=128)
+job = SimJob(spec=spec, machine=machine)
+result = simulate(machine, spec.build())
+cache = ResultCache(cache_dir)
+registry = MetricsRegistry()
+torn = 0
+with use_metrics(registry):
+    for _ in range(rounds):
+        cache.store(job, result)
+        loaded = cache.load(job)
+        if loaded is not None and loaded.to_dict() != result.to_dict():
+            torn += 1
+print(torn, cache.stats.rejected,
+      registry.counters.get("cache.corrupt_skipped", 0))
+"""
+
+    def test_two_processes_same_hash_no_torn_reads(self, tmp_path, point):
+        import subprocess
+        import sys
+
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ, PYTHONPATH=src)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", self.WORKER, str(tmp_path), "150"],
+                stdout=subprocess.PIPE, text=True, env=env)
+            for _ in range(2)
+        ]
+        for proc in procs:
+            out, _ = proc.communicate(timeout=300)
+            assert proc.returncode == 0
+            torn, rejected, corrupt_skipped = out.split()
+            assert torn == "0", "reader observed a torn/mismatched entry"
+            assert rejected == "0"
+            assert corrupt_skipped == "0"
+
+        # The survivor entry is a byte-exact round trip of the result.
+        job, result = point
+        cache = ResultCache(str(tmp_path))
+        loaded = cache.load(job)
+        assert loaded is not None
+        assert loaded.to_dict() == result.to_dict()
+        assert cache.stats.rejected == 0
+
+
 class TestStats:
     def test_hit_rate(self, tmp_path, point):
         job, result = point

@@ -4,16 +4,19 @@ from __future__ import annotations
 
 import io
 import json
+import os
 
 import pytest
 
 from repro.runner.telemetry import (
+    NO_ANSI_ENV,
     SOURCE_CACHE,
     SOURCE_JOURNAL,
     SOURCE_SIMULATED,
     CampaignTelemetry,
     NullProgress,
     ProgressPrinter,
+    ansi_enabled,
 )
 
 
@@ -196,3 +199,65 @@ class TestProgressPrinter:
         null.start_batch("fig5", 3, expected_sim=1)
         null.job_done(
             CampaignTelemetry().record("a", "fig5", "h", 1.0, SOURCE_CACHE))
+
+
+class _FakeTTY(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class TestAnsiSuppression:
+    """Escape codes only ever reach a real TTY; everything redirected
+    (pipes, files, service logs, CI) stays plain text."""
+
+    def test_non_tty_stream_disables_ansi(self, monkeypatch):
+        monkeypatch.delenv(NO_ANSI_ENV, raising=False)
+        assert ansi_enabled(io.StringIO()) is False
+        assert ansi_enabled(None) is False
+
+    def test_tty_stream_enables_ansi(self, monkeypatch):
+        monkeypatch.delenv(NO_ANSI_ENV, raising=False)
+        assert ansi_enabled(_FakeTTY()) is True
+
+    def test_env_override_wins_even_on_a_tty(self, monkeypatch):
+        monkeypatch.setenv(NO_ANSI_ENV, "1")
+        assert ansi_enabled(_FakeTTY()) is False
+
+    def test_closed_stream_is_not_a_tty(self, monkeypatch):
+        monkeypatch.delenv(NO_ANSI_ENV, raising=False)
+        stream = open(os.devnull, "w")
+        stream.close()
+        assert ansi_enabled(stream) is False
+
+    def test_progress_printer_emits_no_escapes_on_non_tty(self,
+                                                          monkeypatch):
+        monkeypatch.delenv(NO_ANSI_ENV, raising=False)
+        telemetry = CampaignTelemetry(workers=2)
+        stream = io.StringIO()
+        printer = ProgressPrinter(telemetry, stream)
+        assert printer.ansi is False
+        printer.start_batch("fig5", 2, expected_sim=2)
+        printer.job_done(
+            telemetry.record("a", "fig5", "h1", 2.0, SOURCE_SIMULATED))
+        assert "\x1b" not in stream.getvalue()
+
+    def test_progress_printer_styles_when_forced(self):
+        telemetry = CampaignTelemetry(workers=2)
+        stream = io.StringIO()
+        printer = ProgressPrinter(telemetry, stream, ansi=True)
+        printer.start_batch("fig5", 2, expected_sim=2)
+        printer.job_done(
+            telemetry.record("a", "fig5", "h1", 2.0, SOURCE_SIMULATED))
+        out = stream.getvalue()
+        assert "\x1b[" in out
+        assert out.endswith("\n")  # still newline-terminated lines
+
+    def test_render_is_plain_by_default_and_styled_on_request(self):
+        telemetry = sample_telemetry()
+        assert "\x1b" not in telemetry.render()
+        styled = telemetry.render(color=True)
+        assert "\x1b[" in styled
+        # Styling never changes the words, only wraps them.
+        import re
+
+        assert re.sub(r"\x1b\[[0-9;]*m", "", styled) == telemetry.render()

@@ -1,0 +1,69 @@
+"""Shared fixtures for the job-service tests: tiny jobs, live servers."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.runner import CampaignJournal, ResultCache
+from repro.runner.tracestore import TraceStore
+from repro.service import JobService, ServiceHTTPServer
+
+
+@pytest.fixture
+def store(tmp_path) -> TraceStore:
+    """A private trace store spilling under the test's tmp dir."""
+    return TraceStore(spill_dir=str(tmp_path / "traces"))
+
+
+@pytest.fixture
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(str(tmp_path / "results"))
+
+
+@pytest.fixture
+def journal_path(tmp_path) -> str:
+    return str(tmp_path / "svc.journal")
+
+
+@pytest.fixture
+def make_service(store, cache, journal_path):
+    """Factory for services wired to the test's cache/journal/store;
+    everything created is closed at teardown."""
+    created = []
+
+    def build(started: bool = True, with_cache: bool = True,
+              with_journal: bool = True, **kwargs) -> JobService:
+        kwargs.setdefault("workers", 2)
+        kwargs.setdefault("queue_limit", 64)
+        service = JobService(
+            cache=cache if with_cache else None,
+            journal=CampaignJournal(journal_path) if with_journal else None,
+            trace_store=store,
+            **kwargs,
+        )
+        created.append(service)
+        if started:
+            service.start()
+        return service
+
+    yield build
+    for service in created:
+        service.close(drain=False)
+
+
+@pytest.fixture
+def live_server(make_service):
+    """A started service behind a real HTTP server on an ephemeral
+    port; yields ``(service, base_url)``."""
+    service = make_service()
+    httpd = ServiceHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield service, f"http://127.0.0.1:{httpd.port}"
+    finally:
+        httpd.shutdown()
+        thread.join(timeout=5)
+        httpd.server_close()

@@ -1,0 +1,152 @@
+"""JobService unit behaviour: dedup, warm paths, backpressure, drain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.integrity.errors import QueueFullError, ServiceUnavailableError
+from repro.runner import CampaignJournal
+from repro.service import STATUS_DONE, STATUS_FAILED, STATUS_QUEUED
+
+from _helpers import broken_job, simulated_result, tiny_job
+
+
+class TestSubmission:
+    def test_cold_job_simulates_and_completes(self, make_service, store):
+        service = make_service()
+        entry = service.submit(tiny_job(0))
+        done = service.wait(entry.job_hash, timeout=60)
+        assert done.status == STATUS_DONE
+        assert done.source == "simulated"
+        assert done.result.to_dict() == simulated_result(
+            tiny_job(0), store).to_dict()
+        assert service.counters.simulated == 1
+
+    def test_duplicate_hash_attaches_to_existing_entry(self, make_service):
+        service = make_service(started=False)
+        first = service.submit(tiny_job(0))
+        second = service.submit(tiny_job(0))
+        assert second is first
+        assert first.submissions == 2
+        assert service.counters.dedup_hits == 1
+        assert service.counters.accepted == 1
+
+    def test_cache_hit_is_born_done_without_queueing(
+            self, make_service, cache, store):
+        job = tiny_job(1)
+        cache.store(job, simulated_result(job, store))
+        service = make_service(started=False)
+        entry = service.submit(job)
+        assert entry.status == STATUS_DONE
+        assert entry.source == "cache"
+        assert service.counters.cache_hits == 1
+        assert service.counters.accepted == 0
+
+    def test_journal_hit_is_born_done(self, make_service, store,
+                                      journal_path):
+        job = tiny_job(2)
+        with CampaignJournal(journal_path) as journal:
+            journal.append(job, simulated_result(job, store))
+        service = make_service(started=False)
+        entry = service.submit(job)
+        assert entry.status == STATUS_DONE
+        assert entry.source == "journal"
+        assert service.counters.journal_hits == 1
+
+    def test_queue_full_raises_and_counts(self, make_service):
+        service = make_service(started=False, queue_limit=1)
+        service.submit(tiny_job(0))
+        with pytest.raises(QueueFullError):
+            service.submit(tiny_job(1))
+        assert service.counters.rejected_full == 1
+        # The rejected job left no trace in the table.
+        assert service.get(tiny_job(1).content_hash()) is None
+
+    def test_draining_service_rejects_new_work(self, make_service):
+        service = make_service()
+        service.close()
+        with pytest.raises(ServiceUnavailableError):
+            service.submit(tiny_job(0))
+        assert service.counters.rejected_draining == 1
+
+    def test_submit_many_preserves_order(self, make_service):
+        service = make_service(started=False)
+        jobs = [tiny_job(i) for i in range(3)]
+        entries = service.submit_many(jobs)
+        assert [e.job_hash for e in entries] == [
+            j.content_hash() for j in jobs]
+        assert all(e.status == STATUS_QUEUED for e in entries)
+
+
+class TestFailures:
+    def test_terminal_worker_failure_marks_entry_failed(
+            self, make_service):
+        service = make_service()
+        entry = service.submit(broken_job())
+        done = service.wait(entry.job_hash, timeout=60)
+        assert done.status == STATUS_FAILED
+        assert done.failure is not None
+        assert done.failure["message"]
+        assert service.counters.failed == 1
+
+    def test_failed_jobs_do_not_poison_later_submissions(
+            self, make_service, store):
+        service = make_service()
+        bad = service.submit(broken_job())
+        good = service.submit(tiny_job(0))
+        assert service.wait(bad.job_hash, timeout=60).status == STATUS_FAILED
+        assert service.wait(good.job_hash, timeout=60).status == STATUS_DONE
+
+
+class TestLifecycle:
+    def test_graceful_close_drains_queued_work(self, make_service):
+        service = make_service()
+        entries = [service.submit(tiny_job(i)) for i in range(3)]
+        assert service.close(drain=True, timeout=120)
+        assert all(e.status == STATUS_DONE for e in entries)
+
+    def test_recovery_requeues_accepted_unfinished_jobs(
+            self, make_service, journal_path):
+        job = tiny_job(4)
+        with CampaignJournal(journal_path) as journal:
+            journal.accept(job)
+        service = make_service()
+        entry = service.get(job.content_hash())
+        assert entry is not None
+        assert entry.recovered
+        assert service.counters.recovered == 1
+        assert service.wait(job.content_hash(),
+                            timeout=60).status == STATUS_DONE
+
+    def test_recovery_materializes_finished_jobs_as_done(
+            self, make_service, store, journal_path):
+        job = tiny_job(5)
+        with CampaignJournal(journal_path) as journal:
+            journal.accept(job)
+            journal.append(job, simulated_result(job, store))
+        service = make_service(started=True)
+        entry = service.get(job.content_hash())
+        assert entry is not None
+        assert entry.status == STATUS_DONE
+        assert entry.source == "journal"
+        assert service.counters.recovered == 0  # nothing to re-run
+
+    def test_stats_shape(self, make_service):
+        service = make_service()
+        entry = service.submit(tiny_job(0))
+        service.wait(entry.job_hash, timeout=60)
+        stats = service.stats()
+        assert stats["workers"] == 2
+        assert stats["queue_limit"] == 64
+        assert stats["jobs"]["done"] == 1
+        assert stats["counters"]["simulated"] == 1
+        assert "resilience" in stats
+        assert stats["cache"]["hit_rate"] == 0.0
+        assert "journal" in stats
+
+    def test_health_carries_version_info(self, make_service):
+        service = make_service(started=False)
+        health = service.health()
+        assert health["ok"] is True
+        assert set(health["version"]) >= {
+            "package", "code_version", "trace_format"}
