@@ -67,6 +67,7 @@ from repro.stats.breakdown import (
     ProtocolStats,
     RacStats,
 )
+from repro.trace.stream import is_streaming, iter_quanta
 
 #: Replay engines accepted by :class:`System` and :func:`simulate`.
 ENGINES = ("auto", "fast", "general", "vectorized", "vectorized-mp")
@@ -245,6 +246,18 @@ class System:
                 f"{machine.ncpus}; regenerate the trace or pick a matching "
                 "machine configuration"
             )
+        page_lines = trace.page_bytes // LINE_SIZE
+        if (trace.page_bytes % LINE_SIZE or page_lines < 1
+                or page_lines & (page_lines - 1)):
+            raise TraceMismatchError(
+                f"page_bytes={trace.page_bytes} must be a power-of-two "
+                f"multiple of the {LINE_SIZE} B line size"
+            )
+        if is_streaming(trace):
+            # The quanta-dependent checks (emptiness, warmup range,
+            # per-quantum CPU range) fire inside the stream's
+            # validating chunk iterator as it is consumed.
+            return
         if not trace.quanta:
             raise TraceMismatchError(
                 "trace has no scheduling quanta; nothing to replay"
@@ -255,13 +268,6 @@ class System:
                 f"warmup_quanta={warmup} leaves no measured quanta "
                 f"(trace has {len(trace.quanta)}); lower the warmup or "
                 "lengthen the trace"
-            )
-        page_lines = trace.page_bytes // LINE_SIZE
-        if (trace.page_bytes % LINE_SIZE or page_lines < 1
-                or page_lines & (page_lines - 1)):
-            raise TraceMismatchError(
-                f"page_bytes={trace.page_bytes} must be a power-of-two "
-                f"multiple of the {LINE_SIZE} B line size"
             )
         bad = next((q.cpu for q in trace.quanta
                     if not 0 <= q.cpu < machine.ncpus), None)
@@ -331,6 +337,11 @@ class System:
             replay_uniprocessor,
         )
 
+        if is_streaming(trace):
+            # The kernel's structural algorithms (global argsort runs,
+            # first-touch np.unique) need the whole reference stream
+            # at once; a chunk iterator is accepted by collecting it.
+            trace = trace.collect()
         try:
             replay_uniprocessor(self, trace, protocol, net)
         except VectorizedUnsupported:
@@ -349,6 +360,11 @@ class System:
         from repro.memsys.vectorized import VectorizedUnsupported
         from repro.memsys.vectorized_mp import replay_multiprocessor
 
+        if is_streaming(trace):
+            # The sharing-census pre-pass classifies lines across the
+            # whole run; like the uniprocessor kernel, it accepts a
+            # chunk iterator by collecting it.
+            trace = trace.collect()
         try:
             replay_multiprocessor(self, trace, protocol, net)
         except VectorizedUnsupported:
@@ -374,7 +390,6 @@ class System:
         record_miss = self.misses.record
         kind_to_stall = KIND_TO_STALL
         l2_assoc = machine.l2_assoc
-        warmup_end = trace.warmup_quanta
 
         nodes = self.nodes
         cpus = self.cpus
@@ -392,8 +407,8 @@ class System:
         # Run-long counters kept as plain ints for speed.
         i_refs = i_miss = d_refs = d_miss = l2hits = writes = 0
 
-        for qi, quantum in enumerate(trace.quanta):
-            if qi == warmup_end:
+        for qi, quantum, at_boundary, measured in iter_quanta(trace, "fast"):
+            if at_boundary:
                 record_miss = self._measurement_boundary(
                     protocol, net, i_refs, i_miss, d_refs, d_miss,
                     l2hits, writes,
@@ -534,7 +549,7 @@ class System:
                     plan = None
             if checker is not None:
                 checker.check_system(self, protocol)
-            if sampler is not None and qi >= warmup_end:
+            if sampler is not None and measured:
                 if racs is not None:
                     rp = sum(r.probes for r in racs)
                     rh = sum(r.hits for r in racs)
@@ -557,7 +572,6 @@ class System:
         cores = machine.cores_per_node
         mp = machine.num_nodes > 1
         ooo = machine.cpu_model == "ooo"
-        warmup_end = trace.warmup_quanta
         owner_get = protocol.directory._owner.get
         kind_to_stall = KIND_TO_STALL
         i_refs = i_miss = d_refs = d_miss = l2hits = victimhits = writes = 0
@@ -576,8 +590,9 @@ class System:
         ) else None
         refs_done = 0
 
-        for qi, quantum in enumerate(trace.quanta):
-            if qi == warmup_end:
+        for qi, quantum, at_boundary, measured in iter_quanta(trace,
+                                                              "general"):
+            if at_boundary:
                 self._measurement_boundary(
                     protocol, net, i_refs, i_miss, d_refs, d_miss,
                     l2hits, writes, victimhits,
@@ -681,7 +696,7 @@ class System:
                     plan = None
             if checker is not None:
                 checker.check_system(self, protocol)
-            if sampler is not None and qi >= warmup_end:
+            if sampler is not None and measured:
                 if racs is not None:
                     rp = sum(r.probes for r in racs)
                     rh = sum(r.hits for r in racs)
@@ -726,9 +741,10 @@ class System:
         if self.racs is not None:
             rac_stats.probes = sum(r.probes for r in self.racs)
             rac_stats.hits = sum(r.hits for r in self.racs)
-        trace_refs = sum(
-            len(q.refs) for q in trace.quanta[trace.warmup_quanta:]
-        )
+        # For a materialized trace this is the post-warmup reference
+        # sum; a consumed stream reports the identical count from its
+        # validating iterator's accounting.
+        trace_refs = trace.measured_refs
         return RunResult(
             machine=self.machine,
             breakdown=total,

@@ -130,6 +130,7 @@ def run_campaign(
     max_retries: Optional[int] = None,
     chaos=None,
     failure_report: Optional[str] = None,
+    shared_memory: bool = True,
 ) -> CampaignReport:
     """Run ``figures`` through a cache-backed, supervised runner.
 
@@ -144,6 +145,8 @@ def run_campaign(
     ``max_retries`` tune the supervisor; ``chaos`` arms the worker
     fault harness (tests, CI smoke).  ``failure_report`` writes the
     machine-readable outcome JSON there at the end of the run.
+    ``shared_memory=False`` makes every worker load its own trace copy
+    instead of attaching the parent's shared-memory view.
 
     A figure whose jobs fail terminally (after retries) is recorded in
     ``report.failures`` and the campaign *continues* with the next
@@ -165,7 +168,8 @@ def run_campaign(
     runner = CampaignRunner(jobs=jobs, cache=cache, trace_store=store,
                             progress=progress, stream=stream,
                             journal=journal, job_timeout=job_timeout,
-                            max_retries=max_retries, chaos=chaos)
+                            max_retries=max_retries, chaos=chaos,
+                            shared_memory=shared_memory)
     report = CampaignReport(
         telemetry=runner.telemetry,
         cache_stats=cache.stats if cache else None,

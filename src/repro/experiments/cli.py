@@ -11,6 +11,7 @@ Usage::
     repro-oltp fig8 --metrics-out fig8.json   # per-quantum metric series
     repro-oltp serve --port 8077 --journal svc.journal   # job service
     repro-oltp loadgen --requests 500 --mix 80:20        # drive the service
+    repro-oltp stream --scale-x 100     # 100x workload at flat memory
 """
 
 from __future__ import annotations
@@ -52,7 +53,8 @@ from repro.obs import (
 from repro.runner import JobFailed
 
 FIGURES = ("fig3", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13")
-EXTRAS = ("ablations", "selftest", "campaign", "profile", "serve", "loadgen")
+EXTRAS = ("ablations", "selftest", "campaign", "profile", "serve", "loadgen",
+          "stream")
 
 
 def _version_string() -> str:
@@ -84,6 +86,7 @@ def _serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         job_timeout=args.job_timeout,
         max_retries=args.max_retries,
+        shared_memory=not args.no_shared_memory,
     )
     try:
         return run_server(service, args.host, args.port,
@@ -123,6 +126,43 @@ def _loadgen(args: argparse.Namespace, settings: Settings,
             json.dump(report, fh, indent=2, sort_keys=True)
         print(f"[loadgen report: {args.report}]")
     return 0 if report["ok"] else 1
+
+
+def _stream(args: argparse.Namespace, settings: Settings) -> int:
+    """The ``repro-oltp stream`` verb: scaled-up replay at flat memory.
+
+    Streams a workload ``--scale-x`` times the configured transaction
+    count straight from the generator into the fast engine, chunk by
+    chunk, without ever materializing the whole trace — peak RSS stays
+    flat no matter how large the multiplier.
+    """
+    import resource
+
+    from repro.core.machine import MachineConfig
+    from repro.core.system import simulate
+    from repro.runner.tracestore import StreamingTraceStore, TraceSpec
+
+    scale_x = max(1, args.scale_x)
+    txns = settings.uni_txns * scale_x
+    spec = TraceSpec(ncpus=1, scale=settings.scale, txns=txns,
+                     seed=settings.seed)
+    store = StreamingTraceStore(spill_dir=None,
+                                chunk_txns=args.chunk_txns or None)
+    machine = MachineConfig(label="stream-base", ncpus=1)
+    start = time.perf_counter()
+    trace = store.stream(spec)
+    result = simulate(machine, trace, engine="fast", check=settings.check)
+    wall = time.perf_counter() - start
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(f"streamed {txns} transactions ({scale_x}x the configured "
+          f"count) through the fast engine")
+    print(f"  quanta:        {trace.quanta_seen}")
+    print(f"  refs:          {trace.refs_seen}")
+    print(f"  measured refs: {trace.measured_refs_seen}")
+    print(f"  cycles:        {result.breakdown.total}")
+    print(f"  wall:          {wall:.1f}s")
+    print(f"  peak rss:      {peak_kb / 1024:.0f} MiB")
+    return 0
 
 
 def _settings(args: argparse.Namespace) -> Settings:
@@ -253,6 +293,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--failure-report", metavar="PATH", default=None,
                         help="campaign: write the machine-readable per-job "
                              "success/failure report JSON here")
+    parser.add_argument("--no-shared-memory", action="store_true",
+                        help="campaign/serve: workers load private trace "
+                             "copies instead of attaching the parent's "
+                             "shared-memory view")
+    parser.add_argument("--scale-x", type=int, default=100, metavar="X",
+                        help="stream: transaction-count multiplier over the "
+                             "configured settings (default 100)")
+    parser.add_argument("--chunk-txns", type=int, default=0, metavar="N",
+                        help="stream: transactions generated per chunk "
+                             "(default: the generator's batch size)")
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="write a Chrome trace-event JSON of the run "
                              "(load in Perfetto or chrome://tracing)")
@@ -367,6 +417,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.figure == "loadgen":
             return _loadgen(args, settings, loadgen_figures)
 
+        if args.figure == "stream":
+            return _stream(args, settings)
+
         if args.figure == "campaign":
             chaos = None
             if args.chaos:
@@ -390,6 +443,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 max_retries=args.max_retries,
                 chaos=chaos,
                 failure_report=args.failure_report,
+                shared_memory=not args.no_shared_memory,
             )
             print(report.render())
             if not report.ok:

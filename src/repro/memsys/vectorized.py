@@ -1246,7 +1246,17 @@ def replay_uniprocessor(system, trace, protocol, net) -> None:
 
     The caller (``System._run_vectorized``) guarantees a single-node,
     single-core machine with no victim buffer, TLB, RAC or fault plan.
+
+    A chunk-streamed trace is materialized here: the kernel's
+    structural algorithms (global argsort runs, first-touch
+    ``np.unique``) need the whole reference stream at once, and
+    collection reconstructs the exact trace, so streamed results stay
+    value-identical to materialized ones.
     """
+    from repro.trace.stream import is_streaming
+
+    if is_streaming(trace):
+        trace = trace.collect()
     machine = system.machine
     node = system.nodes[0]
     l1i, l1d, l2 = node.l1i, node.l1d, node.l2

@@ -948,7 +948,16 @@ def replay_multiprocessor(system, trace, protocol, net) -> None:
     The caller (``System._run_vectorized_mp``) guarantees a
     one-core-per-node machine with no victim buffer, TLB or fault
     plan; RACs and OOO CPUs route to stream mode internally.
+
+    A chunk-streamed trace is materialized here: the census pre-pass
+    and the staged walks traverse the trace multiple times, and
+    collection reconstructs the exact trace, so streamed results stay
+    value-identical to materialized ones.
     """
+    from repro.trace.stream import is_streaming
+
+    if is_streaming(trace):
+        trace = trace.collect()
     machine = system.machine
     nodes = system.nodes
     node0 = nodes[0]

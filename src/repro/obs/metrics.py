@@ -22,6 +22,15 @@ and nothing at all when metrics are disabled (the engines hold
 
 Like tracing, metrics are observational by contract: sampling reads
 simulator counters and never writes simulator state.
+
+Counter families by convention: ``integrity.*`` (checker),
+``campaign.*`` (runner — including ``campaign.shm_segments`` /
+``campaign.shm_fallbacks`` for the shared-memory trace arena),
+``service.*`` (job service), ``cache.*`` (result cache) and
+``stream.*`` (streaming trace store: ``stream.builds``,
+``stream.spills``, ``stream.archive_streams``); the streaming replay
+path additionally emits one ``stream.chunk`` span per consumed chunk
+when tracing is enabled.
 """
 
 from __future__ import annotations

@@ -88,6 +88,12 @@ class CampaignRunner:
     (``max_retries`` is a shorthand overriding just its retry count),
     and ``chaos`` an optional ``(fault_plans, token_dir)`` pair arming
     the chaos harness in every worker.
+
+    ``shared_memory`` (default on) publishes each distinct workload
+    into a :class:`~repro.runner.shm.SharedTraceArena` segment before
+    a parallel batch, so all workers replay one mapping instead of N
+    per-worker archive loads; a failed publish falls back to the
+    archive path for that workload, never the whole batch.
     """
 
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
@@ -98,7 +104,8 @@ class CampaignRunner:
                  max_retries: Optional[int] = None,
                  retry: Optional[RetryPolicy] = None,
                  max_respawns: int = 3,
-                 chaos=None):
+                 chaos=None,
+                 shared_memory: bool = True):
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.journal = journal
@@ -119,6 +126,8 @@ class CampaignRunner:
         )
         self._batch = ""
         self._supervisor: Optional[SupervisedExecutor] = None
+        self.shared_memory = shared_memory
+        self._arena = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -139,10 +148,16 @@ class CampaignRunner:
         return self._supervisor
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down and unlink any shared segments
+        (idempotent)."""
         if self._supervisor is not None:
             self._supervisor.close()
             self._supervisor = None
+        if self._arena is not None:
+            # After the pool is gone, so no worker loses its mapping
+            # mid-replay.
+            self._arena.cleanup()
+            self._arena = None
 
     def __enter__(self) -> "CampaignRunner":
         return self
@@ -247,13 +262,38 @@ class CampaignRunner:
             self._persist(job, result)
             self._record(job, seconds, SOURCE_SIMULATED)
 
+    def _publish_shared(self, specs) -> Optional[dict]:
+        """Map each spec to a shared-memory handle (best effort).
+
+        A spec whose publish fails (e.g. ``/dev/shm`` exhausted) is
+        simply absent from the map: its jobs take the per-worker
+        archive path instead.
+        """
+        if not self.shared_memory:
+            return None
+        if self._arena is None:
+            from repro.runner.shm import SharedTraceArena
+
+            self._arena = SharedTraceArena()
+        handles = {}
+        for spec in specs:
+            try:
+                handles[spec] = self._arena.publish(spec, self.trace_store)
+            except Exception:
+                current_metrics().count("campaign.shm_fallbacks")
+        return handles or None
+
     def _run_parallel(self, jobs: Sequence[SimJob], pending: List[int],
                       results: List[Optional[RunResult]]) -> None:
         # Materialize each distinct workload into the shared archive
-        # once, so no worker pays for trace generation.
+        # once, so no worker pays for trace generation.  The archive
+        # stays the durable fallback even when the same workloads are
+        # also published to shared memory below.
+        distinct_specs = {jobs[i].spec for i in pending}
         if self.trace_store.spill_dir:
-            for spec in {jobs[i].spec for i in pending}:
+            for spec in distinct_specs:
                 self.trace_store.ensure_archived(spec)
+        shm_handles = self._publish_shared(distinct_specs)
 
         tracer = current_tracer()
         metrics = current_metrics()
@@ -277,7 +317,8 @@ class CampaignRunner:
             self._record(job, seconds, SOURCE_SIMULATED)
 
         outcomes = self._ensure_supervisor().run(
-            distinct, with_obs=with_obs, on_result=on_result)
+            distinct, with_obs=with_obs, on_result=on_result,
+            shm_handles=shm_handles)
 
         failures = []
         for outcome in outcomes:

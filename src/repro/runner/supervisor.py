@@ -94,8 +94,14 @@ def _worker_init(spill_dir: Optional[str], capacity: int,
         install_worker_faults(fault_plans, fault_token_dir)
 
 
-def _worker_run(job: SimJob, with_obs: bool = False):
+def _worker_run(job: SimJob, with_obs: bool = False, shm_handle=None):
     """Simulate one job; return ``(seconds, result_dict, crc32, obs)``.
+
+    ``shm_handle`` (a :class:`~repro.runner.shm.SharedTraceHandle`)
+    replays the job against the parent's shared-memory trace segment —
+    one physical mapping per workload across all workers — instead of
+    a per-worker archive load; without one, the trace resolves through
+    the worker's :func:`default_trace_store` as before.
 
     Results cross the process boundary as :meth:`RunResult.to_dict`
     payloads — the exact representation the cache stores — so the
@@ -118,7 +124,12 @@ def _worker_run(job: SimJob, with_obs: bool = False):
     if injector is not None:
         injector.on_job_start()
 
-    trace = default_trace_store().get(job.spec)
+    if shm_handle is not None:
+        from repro.runner.shm import attach_shared_trace
+
+        trace = attach_shared_trace(shm_handle)
+    else:
+        trace = default_trace_store().get(job.spec)
     if not with_obs:
         start = time.perf_counter()
         try:
@@ -356,13 +367,20 @@ class SupervisedExecutor:
     # -- execution -------------------------------------------------------------
 
     def run(self, jobs: Sequence[SimJob], with_obs: bool = False,
-            on_result: Optional[Callable] = None) -> List[JobOutcome]:
+            on_result: Optional[Callable] = None,
+            shm_handles: Optional[Dict] = None) -> List[JobOutcome]:
         """Run every job to a terminal :class:`JobOutcome`.
 
         ``on_result(job, result, seconds, obs)`` fires as each job
         *completes* (not in submission order), so the caller can
         persist results — cache, journal — the moment they exist;
         a kill after that instant can never lose the job.
+
+        ``shm_handles`` maps a job's ``spec`` to a
+        :class:`~repro.runner.shm.SharedTraceHandle`; matching jobs
+        replay against the parent's shared mapping (surviving pool
+        respawns — a fresh worker simply re-attaches), others fall
+        back to per-worker trace loads.
         """
         jobs = list(jobs)
         outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
@@ -433,7 +451,9 @@ class SupervisedExecutor:
                 attempt = ready.popleft()
                 try:
                     future = self._ensure_pool().submit(
-                        _worker_run, attempt.job, with_obs)
+                        _worker_run, attempt.job, with_obs,
+                        shm_handles.get(attempt.job.spec)
+                        if shm_handles else None)
                 except BrokenProcessPool:
                     ready.appendleft(attempt)
                     self.stats.crashes += 1

@@ -26,8 +26,16 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.trace.generator import OltpTrace, build_trace
-from repro.trace.storage import FORMAT_VERSION, load_trace, save_trace_atomic
+from repro.trace.generator import OltpTrace, build_trace, stream_trace
+from repro.trace.storage import (
+    FORMAT_VERSION,
+    STREAM_FORMAT_VERSION,
+    ChunkedTraceWriter,
+    load_trace,
+    open_stream_archive,
+    save_trace_atomic,
+)
+from repro.trace.stream import StreamedTrace
 
 #: Default number of in-memory traces a store keeps (a full campaign
 #: alternates between the uniprocessor and 8-CPU workloads, plus a few
@@ -64,6 +72,11 @@ class TraceSpec:
         """Spill filename; includes the archive format version so a
         format bump naturally invalidates old spills."""
         return f"trace_{self.key}_fmt{FORMAT_VERSION}.npz"
+
+    @property
+    def stream_archive_name(self) -> str:
+        """Chunked-archive spill filename (streaming store)."""
+        return f"strace_{self.key}_sfmt{STREAM_FORMAT_VERSION}.npz"
 
     def to_dict(self) -> dict:
         return {
@@ -203,6 +216,123 @@ class TraceStore:
 
     def __contains__(self, spec: TraceSpec) -> bool:
         return spec in self._lru
+
+
+@dataclass
+class StreamingStoreStats:
+    """Where the streaming store's chunk streams came from.
+
+    Counted once per :meth:`StreamingTraceStore.stream` call, never
+    per chunk — so the numbers are invariant to the consumer's chunk
+    size (a property the test suite pins down).
+    """
+
+    archive_streams: int = 0
+    builds: int = 0
+    spills: int = 0
+
+    def reset(self) -> None:
+        self.archive_streams = 0
+        self.builds = 0
+        self.spills = 0
+
+
+class StreamingTraceStore:
+    """Bounded-memory counterpart of :class:`TraceStore`.
+
+    Where ``TraceStore.get`` materializes a whole
+    :class:`~repro.trace.generator.OltpTrace`, :meth:`stream` returns
+    a :class:`~repro.trace.stream.StreamedTrace` whose peak memory is
+    one chunk, regardless of workload length:
+
+    1. an existing *chunked* archive (``strace_*.npz``) streams back
+       chunk-by-chunk — ``np.load`` decompresses one zip member at a
+       time;
+    2. on a miss the live generator streams, and when a ``spill_dir``
+       is configured every chunk is teed into a
+       :class:`~repro.trace.storage.ChunkedTraceWriter` on its way to
+       the consumer, so the archive appears as a side effect of the
+       first replay — no second pass, no full materialization, and an
+       interrupted run leaves no partial archive (atomic rename).
+
+    ``chunk_txns`` sets the generation batch; ``chunk_quanta`` (per
+    call) re-slices whatever the producer emits, letting consumers
+    pick their replay granularity independently of how the archive was
+    written.
+    """
+
+    def __init__(self, spill_dir: Optional[str] = None,
+                 chunk_txns: Optional[int] = None):
+        self.spill_dir = spill_dir
+        self.chunk_txns = chunk_txns
+        self.stats = StreamingStoreStats()
+
+    def _archive_path(self, spec: TraceSpec) -> Optional[str]:
+        if not self.spill_dir:
+            return None
+        return os.path.join(self.spill_dir, spec.stream_archive_name)
+
+    def stream(self, spec: TraceSpec,
+               chunk_quanta: Optional[int] = None) -> StreamedTrace:
+        """A fresh chunk stream for ``spec`` (archive or live build)."""
+        from repro.integrity.errors import TraceFormatError
+        from repro.obs import current_metrics
+
+        path = self._archive_path(spec)
+        if path is not None and os.path.exists(path):
+            try:
+                streamed = open_stream_archive(path)
+            except (TraceFormatError, OSError):
+                # Corrupt or stale spill: drop it and rebuild, the
+                # same fail-soft contract as TraceStore.
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            else:
+                self.stats.archive_streams += 1
+                current_metrics().count("stream.archive_streams")
+                if chunk_quanta:
+                    streamed.rechunk(chunk_quanta)
+                return streamed
+
+        streamed = stream_trace(
+            ncpus=spec.ncpus,
+            scale=spec.scale,
+            txns=spec.txns,
+            warmup_txns=spec.warmup_txns,
+            seed=spec.seed,
+            chunk_txns=self.chunk_txns,
+        )
+        self.stats.builds += 1
+        current_metrics().count("stream.builds")
+        if path is not None:
+            writer = ChunkedTraceWriter(path)
+            self.stats.spills += 1
+
+            def finish(stream):
+                writer.finish(stream)
+                current_metrics().count("stream.spills")
+
+            streamed.tee(writer.add_chunk, finish=finish, abort=writer.abort)
+        if chunk_quanta:
+            streamed.rechunk(chunk_quanta)
+        return streamed
+
+    def ensure_archived(self, spec: TraceSpec) -> str:
+        """Guarantee a chunked archive for ``spec``; return its path.
+
+        Consumes (and discards) a full stream on a miss — still at
+        bounded memory — and verifies an existing archive's header.
+        """
+        if not self.spill_dir:
+            raise ValueError("ensure_archived requires a spill_dir")
+        path = self._archive_path(spec)
+        assert path is not None
+        if not os.path.exists(path):
+            for _ in self.stream(spec).chunks():
+                pass
+        return path
 
 
 #: Process-wide default store.  The experiment drivers' ``get_trace``

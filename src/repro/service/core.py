@@ -116,7 +116,8 @@ class JobService:
                  retry: Optional[RetryPolicy] = None,
                  max_retries: Optional[int] = None,
                  max_respawns: int = 3,
-                 batch_limit: Optional[int] = None):
+                 batch_limit: Optional[int] = None,
+                 shared_memory: bool = True):
         if queue_limit < 1:
             raise ValueError("queue_limit must be at least 1")
         self.workers = max(1, int(workers))
@@ -140,6 +141,12 @@ class JobService:
             job_timeout=job_timeout, retry=retry,
             max_respawns=max_respawns,
         )
+        #: Same contract as the campaign runner: each distinct
+        #: workload is published to shared memory once and every
+        #: worker replays the one mapping; a failed publish falls back
+        #: to the per-worker archive path for that workload.
+        self.shared_memory = shared_memory
+        self._arena = None
         self.counters = ServiceCounters()
         self.started_at = time.time()
         self._entries: Dict[str, JobEntry] = {}
@@ -223,6 +230,9 @@ class JobService:
         if self._dispatcher is not None:
             self._dispatcher.join(timeout=5.0)
         self._executor.close()
+        if self._arena is not None:
+            self._arena.cleanup()
+            self._arena = None
         if self.journal is not None:
             self.journal.close()
         return drained
@@ -411,6 +421,22 @@ class JobService:
             self._running = len(batch)
             return batch
 
+    def _publish_shared(self, specs) -> Optional[dict]:
+        """Spec → shared-memory handle map for a batch (best effort)."""
+        if not self.shared_memory:
+            return None
+        if self._arena is None:
+            from repro.runner.shm import SharedTraceArena
+
+            self._arena = SharedTraceArena()
+        handles = {}
+        for spec in specs:
+            try:
+                handles[spec] = self._arena.publish(spec, self.trace_store)
+            except Exception:
+                current_metrics().count("service.shm_fallbacks")
+        return handles or None
+
     def _dispatch_loop(self) -> None:
         tracer = current_tracer()
         while True:
@@ -422,12 +448,14 @@ class JobService:
                 # Materialize each distinct workload into the shared
                 # archive once (the campaign runner's invariant), so
                 # workers load it instead of racing to generate it.
+                specs = {entry.job.spec for entry in batch}
                 if self.trace_store.spill_dir:
-                    for spec in {entry.job.spec for entry in batch}:
+                    for spec in specs:
                         self.trace_store.ensure_archived(spec)
                 outcomes = self._executor.run(
                     [entry.job for entry in batch],
                     on_result=self._on_result,
+                    shm_handles=self._publish_shared(specs),
                 )
             except Exception as exc:  # defensive: never kill the loop
                 with self._cv:

@@ -80,6 +80,10 @@ class TraceBuilder(EngineTracer):
         self.rng = rng
         self.warmup_txns = warmup_txns
         self.quanta: List[TraceQuantum] = []
+        #: Global index of ``quanta[0]``: stays 0 for whole-trace
+        #: builds, advances as :meth:`drain_quanta` hands flushed
+        #: quanta to a streaming producer.
+        self.quanta_base = 0
         self.warmup_quanta: Optional[int] = None
         self._current: Optional[ProcessContext] = None
         self._buf: List[int] = []
@@ -97,6 +101,19 @@ class TraceBuilder(EngineTracer):
         self._flush()
         if self.warmup_quanta is None:
             self.warmup_quanta = 0
+
+    def drain_quanta(self) -> List[TraceQuantum]:
+        """Detach every *flushed* quantum (the streaming produce path).
+
+        The open buffer of the currently running process is left in
+        place — it belongs to a quantum that has not ended yet — so a
+        quantum is never split across two drains and the concatenation
+        of all drains equals a whole-trace build exactly.
+        """
+        done = self.quanta
+        self.quanta = []
+        self.quanta_base += len(done)
+        return done
 
     def on_switch(self, process: ProcessContext) -> None:
         self._flush()
@@ -178,7 +195,7 @@ class TraceBuilder(EngineTracer):
     def on_txn_boundary(self, committed: int) -> None:
         if self.warmup_quanta is None and committed >= self.warmup_txns:
             self._flush()
-            self.warmup_quanta = len(self.quanta)
+            self.warmup_quanta = self.quanta_base + len(self.quanta)
 
 
 def build_trace(
@@ -222,3 +239,78 @@ def build_trace(
             engine_stats=engine.stats,
             config=config,
         )
+
+
+def stream_trace(
+    *,
+    ncpus: int = 1,
+    scale: int = 32,
+    txns: int = 1000,
+    warmup_txns: Optional[int] = None,
+    seed: int = 2000,
+    chunk_txns: Optional[int] = None,
+):
+    """Run the OLTP engine and *stream* its reference trace.
+
+    Identical workload to :func:`build_trace` — same engine, same
+    seeds, same flush points — but delivered as a
+    :class:`~repro.trace.stream.StreamedTrace` of quantum-aligned
+    chunks: the engine advances ``chunk_txns`` transactions at a time
+    and every quantum flushed so far is handed downstream, so peak
+    memory is one chunk instead of the whole trace.  Engine state
+    itself is bounded (the TPC-B history segment is a circular
+    window), which makes arbitrarily long runs flat in RSS.
+
+    ``warmup_quanta`` and ``engine_stats`` on the returned stream are
+    filled in as the producer advances; the warmup boundary is always
+    published before the chunk containing it is yielded.
+    """
+    from repro.obs import current_tracer
+    from repro.trace.stream import DEFAULT_CHUNK_TXNS, StreamedTrace, TraceChunk
+
+    config = WorkloadConfig.build(ncpus=ncpus, scale=scale, seed=seed)
+    if warmup_txns is None:
+        warmup_txns = max(100, 4 * config.num_servers)
+    model = MemoryModel(config, seed=seed)
+    rng = random.Random(seed ^ 0xC0DE)
+    builder = TraceBuilder(model, CodeModel(model, rng), rng, warmup_txns)
+    engine = OracleEngine(config, builder)
+    batch_txns = max(1, int(chunk_txns or DEFAULT_CHUNK_TXNS))
+    total_txns = warmup_txns + txns
+
+    def produce():
+        tracer = current_tracer()
+        with tracer.span("trace.stream", ncpus=ncpus, scale=scale,
+                         txns=txns, seed=seed, chunk_txns=batch_txns):
+            engine.prewarm()
+            remaining = total_txns
+            while remaining > 0:
+                batch = min(batch_txns, remaining)
+                engine.run(batch)
+                remaining -= batch
+                # Publish the boundary before the chunk containing it
+                # leaves the producer (the stream contract).
+                streamed.warmup_quanta = builder.warmup_quanta
+                start = builder.quanta_base
+                quanta = builder.drain_quanta()
+                if quanta:
+                    yield TraceChunk(start, quanta)
+            builder.finalize()
+            engine.db.check_consistency()
+            streamed.warmup_quanta = builder.warmup_quanta
+            streamed.engine_stats = engine.stats
+            start = builder.quanta_base
+            quanta = builder.drain_quanta()
+            if quanta:
+                yield TraceChunk(start, quanta)
+
+    streamed = StreamedTrace(
+        ncpus=ncpus,
+        scale=scale,
+        page_bytes=model.page_bytes,
+        text_pages=model.text_pages,
+        measured_txns=txns,
+        config=config,
+        chunks=produce(),
+    )
+    return streamed

@@ -39,6 +39,10 @@ FORMAT_VERSION = 2
 #: Oldest format this build can still read (format 1 lacks a checksum).
 OLDEST_READABLE_VERSION = 1
 
+#: Format version of *chunked* (streaming) archives, versioned
+#: independently of the whole-trace format above.
+STREAM_FORMAT_VERSION = 1
+
 
 def _content_crc(cpus, offsets, refs, text_pages) -> int:
     """CRC-32 over the packed data arrays (not the metadata blob)."""
@@ -183,4 +187,219 @@ def _load_trace(path) -> OltpTrace:
         measured_txns=meta["measured_txns"],
         engine_stats=EngineStats(**meta["engine_stats"]),
         config=config,
+    )
+
+
+# -- chunked (streaming) archives ----------------------------------------------
+#
+# A chunked archive is still one ``.npz`` zip, but the reference
+# stream is split across one pair of members per producer chunk
+# (``refs_<i>`` / ``lens_<i>``).  ``np.load`` reads zip members
+# lazily, so a reader decompresses one chunk at a time and peak memory
+# stays bounded by the largest chunk — the on-disk half of the
+# streaming pipeline in :mod:`repro.trace.stream`.  The small global
+# members (``meta``, ``cpus``, ``text_pages``) load eagerly; each
+# chunk carries its own CRC-32, verified as it streams past.
+
+
+def _chunk_crc(lens: np.ndarray, refs: np.ndarray) -> int:
+    crc = zlib.crc32(np.ascontiguousarray(lens).tobytes())
+    return zlib.crc32(np.ascontiguousarray(refs).tobytes(), crc)
+
+
+class ChunkedTraceWriter:
+    """Incrementally spill a chunk stream into an atomic archive.
+
+    Chunks are appended as they are produced (one zip member pair
+    each); :meth:`finish` writes the global members and metadata, then
+    fsyncs and atomically renames into place — exactly the
+    :func:`save_trace_atomic` crash contract, so a reader only ever
+    observes a complete archive.  :meth:`abort` discards the partial
+    temporary file.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._tmp = f"{path}.tmp.{os.getpid()}.npz"
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        self._zf = zipfile.ZipFile(self._tmp, "w", zipfile.ZIP_DEFLATED)
+        self._cpus: list = []
+        self._chunk_quanta: list = []
+        self._chunk_crcs: list = []
+        self._total_refs = 0
+        self._done = False
+
+    def _write_member(self, name: str, arr: np.ndarray) -> None:
+        with self._zf.open(name + ".npy", "w", force_zip64=True) as fh:
+            np.lib.format.write_array(fh, np.ascontiguousarray(arr),
+                                      allow_pickle=False)
+
+    def add_chunk(self, chunk) -> None:
+        """Append one :class:`~repro.trace.stream.TraceChunk`."""
+        i = len(self._chunk_quanta)
+        lens = np.fromiter((len(q.refs) for q in chunk.quanta),
+                           dtype=np.int64, count=len(chunk.quanta))
+        refs = np.empty(int(lens.sum()), dtype=np.int64)
+        pos = 0
+        for q in chunk.quanta:
+            n = len(q.refs)
+            refs[pos:pos + n] = q.refs
+            pos += n
+        self._write_member(f"lens_{i}", lens)
+        self._write_member(f"refs_{i}", refs)
+        self._cpus.extend(q.cpu for q in chunk.quanta)
+        self._chunk_quanta.append(len(chunk.quanta))
+        self._chunk_crcs.append(_chunk_crc(lens, refs))
+        self._total_refs += int(lens.sum())
+
+    def finish(self, stream) -> None:
+        """Write global members + metadata from the exhausted ``stream``."""
+        if self._done:
+            return
+        self._done = True
+        cpus = np.array(self._cpus, dtype=np.int32)
+        text_pages = np.array(sorted(stream.text_pages), dtype=np.int64)
+        self._write_member("cpus", cpus)
+        self._write_member("text_pages", text_pages)
+        config = asdict(stream.config)
+        tpcb = config.pop("tpcb")
+        meta = {
+            "format": STREAM_FORMAT_VERSION,
+            "ncpus": stream.ncpus,
+            "scale": stream.scale,
+            "page_bytes": stream.page_bytes,
+            "warmup_quanta": stream.warmup_quanta,
+            "measured_txns": stream.measured_txns,
+            "engine_stats": asdict(stream.engine_stats),
+            "config": config,
+            "tpcb": tpcb,
+            "num_quanta": len(cpus),
+            "total_refs": self._total_refs,
+            "chunk_quanta": self._chunk_quanta,
+            "chunk_crcs": self._chunk_crcs,
+            "cpus_crc": zlib.crc32(cpus.tobytes()),
+        }
+        self._write_member(
+            "meta", np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8))
+        self._zf.close()
+        fd = os.open(self._tmp, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(self._tmp, self.path)
+
+    def abort(self) -> None:
+        """Discard the partial archive (idempotent)."""
+        if self._done:
+            return
+        self._done = True
+        try:
+            self._zf.close()
+        except Exception:
+            pass
+        try:
+            os.unlink(self._tmp)
+        except OSError:
+            pass
+
+
+def open_stream_archive(path: str):
+    """Open a chunked archive as a bounded-memory ``StreamedTrace``.
+
+    The header (metadata, per-quantum CPU ids, text pages) is read and
+    validated eagerly; reference chunks decompress lazily, one at a
+    time, as the stream is consumed.  A chunk that fails its CRC
+    raises :class:`TraceFormatError` *mid-stream* — callers that want
+    rebuild-on-corruption must validate before replaying into mutable
+    state (see ``StreamingTraceStore.ensure_archived``).
+    """
+    from repro.trace.stream import StreamedTrace, TraceChunk
+
+    try:
+        data = np.load(path)
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
+        if isinstance(exc, FileNotFoundError):
+            raise
+        raise TraceFormatError(
+            f"cannot read chunked trace archive {path!r}: {exc}"
+        ) from exc
+    try:
+        meta = json.loads(bytes(data["meta"]).decode())
+        version = meta.get("format")
+        if version != STREAM_FORMAT_VERSION:
+            raise TraceFormatError(
+                f"unsupported chunked trace format {version!r} (this "
+                f"build reads version {STREAM_FORMAT_VERSION}); "
+                "regenerate the archive"
+            )
+        cpus = data["cpus"]
+        text_pages_arr = data["text_pages"]
+        chunk_quanta = meta["chunk_quanta"]
+        chunk_crcs = meta["chunk_crcs"]
+        if zlib.crc32(np.ascontiguousarray(cpus).tobytes()) != meta["cpus_crc"]:
+            raise TraceFormatError(
+                f"chunked trace archive {path!r} failed its cpu-array "
+                "checksum; the file is corrupt — regenerate it"
+            )
+        if (len(chunk_quanta) != len(chunk_crcs)
+                or sum(chunk_quanta) != meta["num_quanta"]
+                or len(cpus) != meta["num_quanta"]):
+            raise TraceFormatError(
+                f"chunked trace archive {path!r} has an inconsistent "
+                "chunk table; the file is truncated or corrupt"
+            )
+        config = WorkloadConfig(tpcb=TpcbScale(**meta["tpcb"]),
+                                **meta["config"])
+        engine_stats = EngineStats(**meta["engine_stats"])
+    except TraceFormatError:
+        data.close()
+        raise
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        data.close()
+        raise TraceFormatError(
+            f"cannot read chunked trace archive {path!r}: {exc}"
+        ) from exc
+
+    def produce():
+        try:
+            start = 0
+            for i, nq in enumerate(chunk_quanta):
+                lens = data[f"lens_{i}"]
+                refs = data[f"refs_{i}"]
+                if _chunk_crc(lens, refs) != chunk_crcs[i]:
+                    raise TraceFormatError(
+                        f"chunk {i} of trace archive {path!r} failed its "
+                        "checksum; the file is corrupt — regenerate it"
+                    )
+                if len(lens) != nq or int(lens.sum()) != len(refs):
+                    raise TraceFormatError(
+                        f"chunk {i} of trace archive {path!r} is "
+                        "inconsistent with its chunk table"
+                    )
+                quanta = []
+                payload = memoryview(refs.tobytes())
+                pos = 0
+                for j in range(nq):
+                    n = int(lens[j])
+                    seg = array("q")
+                    seg.frombytes(payload[pos * 8:(pos + n) * 8])
+                    quanta.append(TraceQuantum(int(cpus[start + j]), seg))
+                    pos += n
+                yield TraceChunk(start, quanta)
+                start += nq
+        finally:
+            data.close()
+
+    return StreamedTrace(
+        ncpus=meta["ncpus"],
+        scale=meta["scale"],
+        page_bytes=meta["page_bytes"],
+        text_pages=frozenset(int(p) for p in text_pages_arr),
+        measured_txns=meta["measured_txns"],
+        config=config,
+        engine_stats=engine_stats,
+        warmup_quanta=meta["warmup_quanta"],
+        num_quanta=meta["num_quanta"],
+        chunks=produce(),
     )

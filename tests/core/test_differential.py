@@ -327,3 +327,90 @@ class TestEngineSelection:
         spec = TraceSpec(ncpus=1, scale=64, txns=20, seed=1)
         job = SimJob(spec=spec, machine=MachineConfig.base(1))
         assert "engine" not in repr(job.payload()).lower()
+
+
+# Chunk sizes for the streaming cells: single-quantum (maximum chunk
+# count, boundary inside some chunk), a prime (misaligned with every
+# geometry), and whole-trace (one chunk, the degenerate case).
+STREAM_CHUNKS = [1, 7, None]
+STREAM_CHUNK_IDS = ["q1", "q7", "whole"]
+
+
+class TestStreamingEquivalence:
+    """Chunked replay differential: every engine cell re-run through
+    the streaming path must be value-identical to its materialized
+    replay at every chunk size.
+
+    ``StreamedTrace.from_trace`` re-presents the same trace as a
+    single-use chunk iterator, so any divergence here isolates a bug
+    in the streaming seam itself (chunk iteration, warmup-boundary
+    normalization, ``collect()`` for the vectorized engines) rather
+    than in an engine.
+    """
+
+    @pytest.mark.parametrize("technology", TECHNOLOGIES,
+                             ids=lambda t: t.value)
+    @pytest.mark.parametrize("geometry", GEOMETRIES,
+                             ids=lambda g: f"{g[0] // KB}K{g[1]}w")
+    def test_uniprocessor_cells(self, geometry, technology):
+        from repro.trace.stream import StreamedTrace
+
+        l2_size, l2_assoc = geometry
+        machine = grid_machine(l2_size, l2_assoc, technology)
+        trace = synthetic_trace(11, warmup=12)
+        for engine in ("fast", "general", "vectorized"):
+            base = System(machine, engine=engine).run(trace).to_dict()
+            for chunk in STREAM_CHUNKS:
+                streamed = System(machine, engine=engine).run(
+                    StreamedTrace.from_trace(trace, chunk)
+                ).to_dict()
+                assert streamed == base, (engine, chunk)
+
+    @pytest.mark.parametrize("chunk", STREAM_CHUNKS, ids=STREAM_CHUNK_IDS)
+    def test_uniprocessor_no_warmup(self, chunk):
+        from repro.trace.stream import StreamedTrace
+
+        machine = grid_machine(4 * KB, 2, L2Technology.ON_CHIP_SRAM)
+        trace = synthetic_trace(3, warmup=0)
+        for engine in ("fast", "general", "vectorized"):
+            base = System(machine, engine=engine).run(trace).to_dict()
+            streamed = System(machine, engine=engine).run(
+                StreamedTrace.from_trace(trace, chunk)
+            ).to_dict()
+            assert streamed == base, engine
+
+    @pytest.mark.parametrize("ncpus", [2, 8])
+    def test_multiprocessor_cells(self, ncpus):
+        from repro.trace.stream import StreamedTrace
+
+        machine = mp_machine(ncpus, rac_size=256 * KB, replicate=True)
+        trace = synthetic_mp_trace(9, ncpus, replicate=True)
+        for engine in ("fast", "general", "vectorized-mp"):
+            base = System(machine, engine=engine).run(trace).to_dict()
+            for chunk in STREAM_CHUNKS:
+                streamed = System(machine, engine=engine).run(
+                    StreamedTrace.from_trace(trace, chunk)
+                ).to_dict()
+                assert streamed == base, (engine, chunk)
+
+    def test_ooo_streamed_cell(self):
+        from repro.trace.stream import StreamedTrace
+
+        machine = grid_machine(8 * KB, 4, L2Technology.ON_CHIP_SRAM,
+                               cpu_model="ooo")
+        trace = synthetic_trace(17, warmup=8)
+        base = System(machine, engine="fast").run(trace).to_dict()
+        streamed = System(machine, engine="fast").run(
+            StreamedTrace.from_trace(trace, 7)).to_dict()
+        assert streamed == base
+
+    def test_stream_is_single_use(self):
+        from repro.integrity.errors import StateError
+        from repro.trace.stream import StreamedTrace
+
+        machine = grid_machine(4 * KB, 2, L2Technology.OFF_CHIP_SRAM)
+        trace = synthetic_trace(5)
+        stream = StreamedTrace.from_trace(trace, 7)
+        System(machine, engine="fast").run(stream)
+        with pytest.raises(StateError):
+            System(machine, engine="fast").run(stream)

@@ -138,3 +138,32 @@ class TestMain:
         err = capsys.readouterr().err
         assert "interrupted" in err
         assert "fig3" in err  # the one figure that completed
+
+
+class TestStreamVerb:
+    def test_stream_runs_and_reports(self, capsys):
+        code = main(["stream", "--quick", "--scale-x", "2",
+                     "--chunk-txns", "32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2x the configured count" in out
+        assert "peak rss" in out
+        assert "measured refs" in out
+
+    def test_stream_rejects_target(self):
+        with pytest.raises(SystemExit):
+            main(["stream", "fig5"])
+
+    def test_stream_matches_materialized_counts(self, capsys):
+        """The stream verb replays the exact reference workload."""
+        from repro.trace.generator import build_trace
+
+        code = main(["stream", "--quick", "--scale-x", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        quick = Settings.quick()
+        trace = build_trace(ncpus=1, scale=quick.scale,
+                            txns=quick.uni_txns, seed=7)
+        assert f"quanta:        {len(trace.quanta)}" in out
+        refs = sum(len(q.refs) for q in trace.quanta)
+        assert f"refs:          {refs}" in out

@@ -16,6 +16,14 @@ The traces themselves are regenerated too, but from fixed seeds and a
 pinned generator configuration; if the trace JSON diffs, the *trace
 generator's* semantics moved, which is itself worth flagging in the
 change description.
+
+The goldens replay fully materialized traces only.  The streaming
+path needs no fixtures of its own: ``stream_trace`` is pinned
+chunk-for-chunk against ``build_trace`` by
+``tests/trace/test_stream_properties.py``, and chunked replay is held
+to the materialized engines' exact payloads by the streaming
+differential cells in ``tests/core/test_differential.py`` — so these
+goldens transitively freeze the streamed results too.
 """
 
 from __future__ import annotations

@@ -335,3 +335,59 @@ class TestCLI:
         capsys.readouterr()
         assert current_tracer() is NULL_TRACER
         assert current_metrics() is NULL_METRICS
+
+
+class TestStreamChunkSpans:
+    """The streaming replay path emits one ``stream.chunk`` span per
+    consumed chunk — and none at all for materialized traces."""
+
+    CHUNK = 4
+
+    def _streamed_spans(self, trace, machine, engine):
+        from repro.trace.stream import StreamedTrace
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = System(machine, engine=engine).run(
+                StreamedTrace.from_trace(trace, self.CHUNK))
+        chunks = [s for s in tracer.spans if s.name == "stream.chunk"]
+        return result, chunks
+
+    def test_chunk_spans_cover_the_whole_stream(self, uni_trace):
+        machine = base_machine(1)
+        result, chunks = self._streamed_spans(uni_trace, machine, "fast")
+        n = len(uni_trace.quanta)
+        expected = -(-n // self.CHUNK)
+        assert len(chunks) == expected
+        assert [s.args["chunk"] for s in chunks] == list(range(expected))
+        # Spans account for every quantum and reference, contiguously.
+        assert sum(s.args["quanta"] for s in chunks) == n
+        assert sum(s.args["refs"] for s in chunks) == uni_trace.total_refs
+        start = 0
+        for span in chunks:
+            assert span.args["start"] == start
+            assert span.args["engine"] == "fast"
+            assert span.dur >= 0.0
+            start += span.args["quanta"]
+        # Transparency: streamed-with-spans equals plain materialized.
+        assert result.to_dict() == simulate(machine, uni_trace).to_dict()
+
+    def test_general_engine_tags_its_chunk_spans(self, uni_trace):
+        machine = base_machine(1)
+        _, chunks = self._streamed_spans(uni_trace, machine, "general")
+        assert chunks
+        assert {s.args["engine"] for s in chunks} == {"general"}
+
+    def test_materialized_replay_emits_no_chunk_spans(self, uni_trace):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            simulate(base_machine(1), uni_trace)
+        assert not any(s.name == "stream.chunk" for s in tracer.spans)
+
+    def test_disabled_tracer_emits_no_chunk_spans(self, uni_trace):
+        from repro.trace.stream import StreamedTrace
+
+        result = System(base_machine(1), engine="fast").run(
+            StreamedTrace.from_trace(uni_trace, self.CHUNK))
+        assert result.to_dict() == simulate(
+            base_machine(1), uni_trace).to_dict()

@@ -153,3 +153,122 @@ def test_version1_archive_still_loads(tmp_path, trace):
 def test_missing_file_is_file_not_found(tmp_path):
     with pytest.raises(FileNotFoundError):
         load_trace(tmp_path / "nope.npz")
+
+
+class TestChunkedArchive:
+    """Round-trip and corruption handling for the streamed format."""
+
+    def _spill(self, tmp_path, trace, chunk=5):
+        from repro.trace.storage import ChunkedTraceWriter
+        from repro.trace.stream import StreamedTrace
+
+        path = str(tmp_path / "stream.npz")
+        writer = ChunkedTraceWriter(path)
+        stream = StreamedTrace.from_trace(trace, chunk).tee(
+            writer.add_chunk, finish=writer.finish, abort=writer.abort)
+        for _ in stream.chunks():
+            pass
+        return path
+
+    def test_roundtrip(self, tmp_path, trace):
+        from repro.trace.storage import open_stream_archive
+
+        path = self._spill(tmp_path, trace)
+        loaded = open_stream_archive(path).collect()
+        assert loaded.ncpus == trace.ncpus
+        assert loaded.warmup_quanta == trace.warmup_quanta
+        assert loaded.text_pages == trace.text_pages
+        assert loaded.engine_stats == trace.engine_stats
+        assert loaded.config.tpcb == trace.config.tpcb
+        assert len(loaded.quanta) == len(trace.quanta)
+        for a, b in zip(loaded.quanta, trace.quanta):
+            assert a.cpu == b.cpu
+            assert list(a.refs) == list(b.refs)
+
+    def test_streamed_replay_identical(self, tmp_path, trace):
+        from repro.trace.storage import open_stream_archive
+
+        path = self._spill(tmp_path, trace)
+        machine = MachineConfig.base(2, scale=256)
+        base = simulate(machine, trace).to_dict()
+        got = simulate(machine, open_stream_archive(path)).to_dict()
+        assert got == base
+
+    def test_abort_leaves_no_archive(self, tmp_path, trace):
+        from repro.trace.storage import ChunkedTraceWriter
+        from repro.trace.stream import StreamedTrace, TraceChunk
+
+        path = str(tmp_path / "stream.npz")
+        writer = ChunkedTraceWriter(path)
+
+        def broken():
+            yield TraceChunk(0, trace.quanta[:2])
+            raise RuntimeError("interrupted")
+
+        stream = StreamedTrace.from_trace(trace, 2)
+        stream._chunks = broken()
+        stream.tee(writer.add_chunk, finish=writer.finish,
+                   abort=writer.abort)
+        with pytest.raises(RuntimeError):
+            for _ in stream.chunks():
+                pass
+        assert not list(tmp_path.iterdir())  # no archive, no temp file
+
+    def test_rejects_wrong_version(self, tmp_path, trace):
+        from repro.trace.storage import open_stream_archive
+
+        path = self._spill(tmp_path, trace)
+        with np.load(path) as npz:
+            arrays = {k: npz[k] for k in npz.files}
+        meta = json.loads(bytes(arrays["meta"]).decode())
+        meta["format"] = 99
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode(),
+                                       dtype=np.uint8)
+        np.savez(path, **arrays)
+        with pytest.raises(TraceFormatError):
+            open_stream_archive(path)
+
+    def test_rejects_corrupt_chunk_midstream(self, tmp_path, trace):
+        from repro.trace.storage import open_stream_archive
+
+        path = self._spill(tmp_path, trace)
+        with np.load(path) as npz:
+            arrays = {k: npz[k] for k in npz.files}
+        last = max(
+            int(k.split("_")[1]) for k in arrays if k.startswith("refs_"))
+        arrays[f"refs_{last}"] = arrays[f"refs_{last}"].copy()
+        arrays[f"refs_{last}"][0] ^= 1 << 20
+        np.savez(path, **arrays)
+        streamed = open_stream_archive(path)  # header still validates
+        with pytest.raises(TraceFormatError):
+            for _ in streamed.chunks():
+                pass
+
+    def test_missing_file_is_file_not_found(self, tmp_path):
+        from repro.trace.storage import open_stream_archive
+
+        with pytest.raises(FileNotFoundError):
+            open_stream_archive(str(tmp_path / "absent.npz"))
+
+    def test_garbage_is_format_error(self, tmp_path):
+        from repro.trace.storage import open_stream_archive
+
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not an archive at all")
+        with pytest.raises(TraceFormatError):
+            open_stream_archive(str(path))
+
+    def test_store_rebuilds_corrupt_archive(self, tmp_path):
+        from repro.runner.tracestore import StreamingTraceStore, TraceSpec
+
+        spec = TraceSpec(ncpus=2, scale=256, txns=10, seed=77,
+                         warmup_txns=10)
+        store = StreamingTraceStore(spill_dir=str(tmp_path))
+        path = store.ensure_archived(spec)
+        with open(path, "r+b") as fh:
+            fh.write(b"\x00" * 64)
+        streamed = store.stream(spec)
+        assert streamed.quanta_seen == 0
+        n = sum(len(c) for c in streamed.chunks())
+        assert n > 0
+        assert store.stats.builds == 2  # first build + rebuild
