@@ -20,6 +20,7 @@ from repro.params import (
     LatencyTable,
     MissKind,
 )
+from repro.scenario.topology import UNIFORM, TopologySpec
 
 
 @dataclass
@@ -49,10 +50,23 @@ class MessageCounters:
 
 @dataclass
 class InterconnectModel:
-    """Latency assignment for serviced misses under one configuration."""
+    """Latency assignment for serviced misses under one configuration.
+
+    The Figure-3 ``table`` carries the uniform-machine class
+    latencies; a non-flat :class:`TopologySpec` layers per-hop extras
+    on top using the node identities the protocol records on each
+    :class:`ServiceOutcome`.  Under the flat (uniform) topology the
+    extra terms are structurally zero and the arithmetic below is
+    exactly the pre-topology model, so uniform results stay
+    bit-identical.
+    """
 
     table: LatencyTable
+    topology: TopologySpec = UNIFORM
     counters: MessageCounters = field(default_factory=MessageCounters)
+
+    def __post_init__(self):
+        self._flat = self.topology.is_flat
 
     def service_latency(self, outcome: ServiceOutcome) -> int:
         """Stall cycles the requester pays for this serviced miss."""
@@ -67,13 +81,25 @@ class InterconnectModel:
             return self.table.local
         if kind is MissKind.REMOTE_CLEAN:
             self.counters.requests_2hop += 1
-            if outcome.upgrade:
-                return self.table.remote_upgrade
-            return self.table.remote_clean
+            base = (self.table.remote_upgrade if outcome.upgrade
+                    else self.table.remote_clean)
+            if self._flat:
+                return base
+            # Request out, data (or acknowledgement) back.
+            return base + 2 * self.topology.hop_extra(
+                outcome.requester, outcome.home)
         self.counters.requests_3hop += 1
+        base = self.table.remote_dirty
         if outcome.from_remote_rac:
             # Dirty data served out of a remote node's RAC is slower
             # than out of its L2 (250 vs 200 ns; Section 6).
-            extra = RAC_REMOTE_DIRTY_LATENCY - 200
-            return self.table.remote_dirty + extra
-        return self.table.remote_dirty
+            base += RAC_REMOTE_DIRTY_LATENCY - 200
+        if self._flat:
+            return base
+        # 3-hop triangle: requester→home (request), home→owner
+        # (intervention forward), owner→requester (data reply).
+        topo = self.topology
+        req, home, owner = outcome.requester, outcome.home, outcome.dirty_owner
+        return (base + topo.hop_extra(req, home)
+                + topo.hop_extra(home, owner)
+                + topo.hop_extra(owner, req))

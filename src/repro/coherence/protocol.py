@@ -41,6 +41,14 @@ class ServiceOutcome:
     *owner's* RAC rather than its L2 (250 ns instead of 200 ns).
     ``invalidations`` counts invalidation messages sent.
     ``upgrade`` marks ownership-only transactions (no data transfer).
+
+    ``requester``/``home``/``dirty_owner`` record which nodes the
+    transaction crossed, so a non-uniform
+    :class:`~repro.scenario.topology.TopologySpec` can charge per-hop
+    extras (2-hop: requester↔home; 3-hop: the
+    requester→home→owner→requester triangle).  ``dirty_owner`` is -1
+    except on 3-hop interventions.  Under the uniform topology the
+    fields are carried but never read.
     """
 
     kind: MissKind
@@ -48,6 +56,9 @@ class ServiceOutcome:
     from_remote_rac: bool = False
     invalidations: int = 0
     upgrade: bool = False
+    requester: int = 0
+    home: int = 0
+    dirty_owner: int = -1
 
 
 class DirectoryProtocol:
@@ -118,13 +129,15 @@ class DirectoryProtocol:
         # Every remote-homed L2 miss probes the RAC (hit or not).
         if rac is not None and rac.lookup(line, write):
             if not write or owner == node:
-                return ServiceOutcome(MissKind.LOCAL, via_rac=True)
+                return ServiceOutcome(MissKind.LOCAL, via_rac=True,
+                                      requester=node, home=home)
             # Write to a shared RAC-resident line: the data is local but
             # ownership must be acquired from the home directory (2-hop).
             inv = self._invalidate_others(line, node)
             directory.set_owner(line, node)
             return ServiceOutcome(
-                MissKind.REMOTE_CLEAN, via_rac=True, invalidations=inv, upgrade=True
+                MissKind.REMOTE_CLEAN, via_rac=True, invalidations=inv,
+                upgrade=True, requester=node, home=home,
             )
 
         from_remote_rac = False
@@ -161,7 +174,11 @@ class DirectoryProtocol:
                 from_remote_rac = dirty_in_rac and not dirty_in_l2
             else:
                 kind = MissKind.LOCAL if not remote_home else MissKind.REMOTE_CLEAN
-            outcome = ServiceOutcome(kind, from_remote_rac=from_remote_rac, invalidations=inv)
+            outcome = ServiceOutcome(
+                kind, from_remote_rac=from_remote_rac, invalidations=inv,
+                requester=node, home=home,
+                dirty_owner=owner if dirty else -1,
+            )
         else:
             if write:
                 inv = self._invalidate_others(line, node)
@@ -170,7 +187,8 @@ class DirectoryProtocol:
                 directory.add_sharer(line, node)
                 inv = 0
             kind = MissKind.LOCAL if not remote_home else MissKind.REMOTE_CLEAN
-            outcome = ServiceOutcome(kind, invalidations=inv)
+            outcome = ServiceOutcome(kind, invalidations=inv,
+                                     requester=node, home=home)
 
         if rac is not None:
             fill = rac.allocate(line, dirty=write)
@@ -195,7 +213,8 @@ class DirectoryProtocol:
         self.upgrades += 1
         home = self.homemap.home_of(line, node)
         kind = MissKind.LOCAL if home == node else MissKind.REMOTE_CLEAN
-        return ServiceOutcome(kind, invalidations=inv, upgrade=True)
+        return ServiceOutcome(kind, invalidations=inv, upgrade=True,
+                              requester=node, home=home)
 
     def handle_eviction(self, node: int, line: int, dirty: bool) -> None:
         """Process an L2 replacement hint from ``node``.

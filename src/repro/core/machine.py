@@ -9,7 +9,7 @@ by the workload's scale factor (DESIGN.md Section 6).
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.integrity.errors import ConfigError
@@ -26,6 +26,7 @@ from repro.params import (
     LatencyTable,
     latencies,
 )
+from repro.scenario.topology import UNIFORM, TopologySpec
 
 
 def _valid_capacity(size: int, assoc: int) -> bool:
@@ -70,8 +71,10 @@ class MachineConfig:
     #: paper's figures fold MMU behaviour into the base CPI).
     tlb_entries: int = 0
     scale: int = 32
-    #: Ablation hook: replaces the Figure-3 table when set.
-    latency_override: Optional[LatencyTable] = None
+    #: Inter-node latency structure; the uniform default reproduces
+    #: the paper's flat ccNUMA bit-identically.  Also carries the
+    #: base-table override hook (latency-sensitivity ablations).
+    topology: TopologySpec = UNIFORM
 
     def __post_init__(self):
         if not self.label or not str(self.label).strip():
@@ -111,6 +114,12 @@ class MachineConfig:
             raise ConfigError("tlb_entries must be non-negative")
         if self.scale < 1:
             raise ConfigError("scale must be at least 1")
+        if not isinstance(self.topology, TopologySpec):
+            raise ConfigError(
+                f"topology must be a TopologySpec, got "
+                f"{type(self.topology).__name__}"
+            )
+        self.topology.validate_for(self.num_nodes)
         if self.rac_size is not None:
             if self.num_nodes == 1:
                 raise ConfigError("a RAC only makes sense in a multiprocessor")
@@ -170,8 +179,12 @@ class MachineConfig:
 
     @property
     def latencies(self) -> LatencyTable:
-        if self.latency_override is not None:
-            return self.latency_override
+        """The base (intra-node) latency table: the topology's override
+        when one is set, otherwise the Figure-3 lookup.  This is the
+        single latency-resolution path — per-hop topology extras layer
+        on top inside the interconnect model."""
+        if self.topology.base_table is not None:
+            return self.topology.base_table
         return latencies(
             self.integration,
             l2_assoc=self.l2_assoc,
@@ -229,10 +242,7 @@ class MachineConfig:
             "victim_entries": self.victim_entries,
             "tlb_entries": self.tlb_entries,
             "scale": self.scale,
-            "latency_override": (
-                None if self.latency_override is None
-                else asdict(self.latency_override)
-            ),
+            "topology": self.topology.to_dict(),
         }
 
     @classmethod
@@ -243,7 +253,7 @@ class MachineConfig:
         stale payload raises :class:`~repro.integrity.errors.ConfigError`
         rather than producing an unsimulatable machine.
         """
-        override = data.get("latency_override")
+        topology = data.get("topology")
         return cls(
             label=data["label"],
             ncpus=data["ncpus"],
@@ -259,8 +269,9 @@ class MachineConfig:
             victim_entries=data["victim_entries"],
             tlb_entries=data["tlb_entries"],
             scale=data["scale"],
-            latency_override=(
-                None if override is None else LatencyTable(**override)
+            topology=(
+                UNIFORM if topology is None
+                else TopologySpec.from_dict(topology)
             ),
         )
 

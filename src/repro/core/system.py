@@ -305,7 +305,7 @@ class System:
             replicated = lambda line: (line >> page_lines_shift) in text_pages  # noqa: E731
         homemap = HomeMap(machine.num_nodes, trace.page_bytes, replicated)
         protocol = self.protocol = DirectoryProtocol(homemap, self.nodes, self.racs)
-        net = InterconnectModel(machine.latencies)
+        net = InterconnectModel(machine.latencies, machine.topology)
 
         with tracer.span("system.run", label=machine.label,
                          engine=self.engine, ncpus=machine.ncpus):

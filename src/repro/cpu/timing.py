@@ -14,6 +14,14 @@ serialization), so :func:`charge_quantum_ooo` merges the quantum's
 instruction-fetch positions back into the stall stream and replays
 ``busy``/``stall`` calls in exactly the order ``System._run_fast``
 would have made them.
+
+Neither model knows where a cycle count came from: per-event
+``cycles`` arrive fully resolved from the interconnect
+(:meth:`repro.coherence.network.InterconnectModel.service_latency`),
+which already composed the Figure-3 class latency with any
+per-hop :class:`~repro.scenario.topology.TopologySpec` extras.  The
+CPU models therefore work unchanged for every topology; only the
+producers of timing records vary.
 """
 
 from __future__ import annotations

@@ -26,6 +26,7 @@ from repro.core.results import RunResult
 from repro.experiments.common import Settings, get_trace, trace_spec
 from repro.params import MB
 from repro.runner import SimJob, TraceSpec, run_simulations
+from repro.scenario.topology import TopologySpec
 
 
 # ---------------------------------------------------------------------------
@@ -182,7 +183,8 @@ def latency_sensitivity(settings: Optional[Settings] = None,
     for field_name in classes:
         bumped_value = int(getattr(table, field_name) * 1.5)
         bumped = replace(table, **{field_name: bumped_value})
-        machines.append(base_machine.with_(latency_override=bumped))
+        machines.append(base_machine.with_(
+            topology=TopologySpec.uniform(base_table=bumped)))
     results = run_simulations(
         [SimJob(spec=spec, machine=m, check=settings.check) for m in machines]
     )

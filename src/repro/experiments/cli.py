@@ -54,7 +54,10 @@ from repro.runner import JobFailed
 
 FIGURES = ("fig3", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13")
 EXTRAS = ("ablations", "selftest", "campaign", "profile", "serve", "loadgen",
-          "stream")
+          "stream", "scenario")
+
+#: Subcommands of the ``scenario`` verb.
+SCENARIO_ACTIONS = ("list", "describe", "run")
 
 
 def _version_string() -> str:
@@ -228,7 +231,11 @@ def run_figure(name: str, settings: Settings, chart: bool = False,
         from repro.integrity import selftest
 
         return selftest.run(settings).render()
-    raise ValueError(f"unknown figure {name!r}")
+    # Anything else is a scenario name; run_scenario fails fast with a
+    # ConfigError listing the registered names when it is not.
+    from repro.experiments import scenarios
+
+    return render(dump(scenarios.run_scenario(name, settings)), chart=chart)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -244,9 +251,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("figure", choices=FIGURES + EXTRAS + ("all",),
                         help="which figure (or extra study) to reproduce")
     parser.add_argument("target", nargs="?", default=None,
-                        help="figure to profile (for the 'profile' verb) or "
-                             "a comma-separated figure subset (for "
-                             "'campaign' and 'loadgen')")
+                        help="figure to profile (for the 'profile' verb), a "
+                             "comma-separated figure/scenario subset (for "
+                             "'campaign' and 'loadgen'), or a scenario "
+                             "action: list, describe, run")
+    parser.add_argument("name", nargs="?", default=None,
+                        help="scenario name (for 'scenario describe' and "
+                             "'scenario run')")
     parser.add_argument("--scale", type=int, default=0,
                         help="workload/cache scale-down factor (default 32)")
     parser.add_argument("--uni-txns", type=int, default=0,
@@ -352,6 +363,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     campaign_figures = FIGURES
     loadgen_figures = ("fig5",)
+    scenario_action = "list"
     if args.figure == "profile":
         if args.target not in FIGURES:
             parser.error(
@@ -359,15 +371,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"(choose from {', '.join(FIGURES)})"
             )
     elif args.figure == "campaign" and args.target is not None:
+        from repro.scenario import scenario_names
+
         campaign_figures = tuple(
             name for name in args.target.split(",") if name
         )
-        unknown = [n for n in campaign_figures if n not in FIGURES]
+        known = FIGURES + scenario_names()
+        unknown = [n for n in campaign_figures if n not in known]
         if unknown:
             parser.error(
-                f"unknown campaign figure(s) {', '.join(unknown)} "
-                f"(choose from {', '.join(FIGURES)})"
+                f"unknown campaign figure(s)/scenario(s) "
+                f"{', '.join(unknown)} (choose from {', '.join(known)})"
             )
+    elif args.figure == "scenario":
+        scenario_action = args.target or "list"
+        if scenario_action not in SCENARIO_ACTIONS:
+            parser.error(
+                f"unknown scenario action {scenario_action!r} "
+                f"(choose from {', '.join(SCENARIO_ACTIONS)})"
+            )
+        if scenario_action in ("describe", "run") and not args.name:
+            parser.error(
+                f"scenario {scenario_action} needs a scenario name, e.g. "
+                f"'scenario {scenario_action} zipf-uni' (see 'scenario list')"
+            )
+        if scenario_action == "list" and args.name:
+            parser.error("scenario list takes no scenario name")
     elif args.figure == "loadgen" and args.target is not None:
         from repro.service.corpus import CORPUS_FIGURES
 
@@ -382,9 +411,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
     elif args.target is not None:
         parser.error(
-            "a target only applies to the 'profile', 'campaign' and "
-            "'loadgen' verbs"
+            "a target only applies to the 'profile', 'campaign', "
+            "'loadgen' and 'scenario' verbs"
         )
+    if args.name is not None and args.figure != "scenario":
+        parser.error("a scenario name only applies to the 'scenario' verb")
 
     settings = _settings(args)
     if args.figure in ("serve", "loadgen") and not (
@@ -419,6 +450,22 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         if args.figure == "stream":
             return _stream(args, settings)
+
+        if args.figure == "scenario":
+            from repro.experiments import scenarios
+
+            if scenario_action == "list":
+                print(scenarios.render_list())
+                return 0
+            if scenario_action == "describe":
+                print(scenarios.render_describe(args.name))
+                return 0
+            start = time.time()
+            print(run_figure(args.name, settings, chart=args.chart,
+                             csv_dir=args.csv))
+            print(f"[{args.name} took {time.time() - start:.1f}s]")
+            completed.append(args.name)
+            return 0
 
         if args.figure == "campaign":
             chaos = None

@@ -1,0 +1,48 @@
+"""The ``repro-oltp scenario`` verb: run any registered scenario.
+
+``scenario list`` and ``scenario describe <name>`` are pure registry
+queries.  ``scenario run <name>`` simulates the scenario's integration
+ladder against its workload trace through :func:`run_configs` — the
+same path every figure driver takes — so a scenario run fans out,
+caches and resumes under ``repro-oltp campaign <name>`` exactly like a
+figure does.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import Figure, Settings, run_configs
+from repro.scenario import all_scenarios, describe_scenario, get_scenario
+
+
+def run_scenario(name: str, settings: Settings) -> Figure:
+    """Simulate ``name``'s ladder; baseline is the Base off-chip rung."""
+    scenario = get_scenario(name)
+    txns = (settings.uni_txns if scenario.ncpus == 1
+            else settings.mp_txns)
+    figure = run_configs(
+        f"scenario:{name}",
+        f"Scenario {name}: {scenario.description}",
+        scenario.machines(settings.scale),
+        scenario.trace_spec(scale=settings.scale, txns=txns,
+                            seed=settings.seed),
+        check=settings.check,
+    )
+    figure.notes.append(f"workload: {scenario.workload.summary()}")
+    figure.notes.append(f"topology: {scenario.topology.summary()}")
+    return figure
+
+
+def render_list() -> str:
+    """The ``scenario list`` table."""
+    scenarios = all_scenarios()
+    width = max(len(s.name) for s in scenarios)
+    lines = [f"registered scenarios ({len(scenarios)})"]
+    for s in scenarios:
+        lines.append(f"  {s.name:<{width}}  {s.summary()}")
+        lines.append(f"  {'':<{width}}  {s.description}")
+    return "\n".join(lines)
+
+
+def render_describe(name: str) -> str:
+    """The ``scenario describe <name>`` report."""
+    return describe_scenario(name)

@@ -131,8 +131,7 @@ class NodeCaches:
         (intra-node write-invalidate coherence).
         """
         l1 = self.l1is[core] if is_instr else self.l1ds[core]
-        r1 = l1.access(line, write)
-        if r1.hit:
+        if l1.probe(line, write):
             if write:
                 # Keep the L2's dirty bit in sync so evictions write
                 # back; an L1 hit does not generate an L2 access, so
@@ -142,10 +141,18 @@ class NodeCaches:
                     self._purge_l1s(line, except_core=core)
             return HierarchyResult(HierarchyLevel.L1)
 
+        # The L1 fills *last*, after any L2-victim inclusion purge: the
+        # fill data only arrives once the miss is serviced, so the
+        # purge must not find (and the fill must not race) a
+        # just-installed line.  Filling first would evict an extra L1
+        # line whenever the L2 victim sits in the same full L1 set as
+        # the incoming line — a state the scalar replay loops never
+        # enter.
         r2 = self.l2.access(line, write)
         if write and self.num_cores > 1:
             self._purge_l1s(line, except_core=core)
         if r2.hit:
+            l1.fill(line, dirty=bool(write))
             return HierarchyResult(HierarchyLevel.L2)
 
         # L2 miss: handle the eviction, then try the victim buffer.
@@ -167,6 +174,7 @@ class NodeCaches:
                 # l2.access already reinstalled it).
                 if was_dirty:
                     self.l2.mark_dirty(line)
+                l1.fill(line, dirty=bool(write))
                 if result is not None:
                     # Rare: the swap-back displaced another buffer entry.
                     return HierarchyResult(
@@ -174,6 +182,7 @@ class NodeCaches:
                     )
                 return HierarchyResult(HierarchyLevel.VICTIM)
 
+        l1.fill(line, dirty=bool(write))
         return result if result is not None else HierarchyResult(HierarchyLevel.MISS)
 
     # -- external (coherence) operations --------------------------------------------

@@ -968,7 +968,13 @@ def replay_multiprocessor(system, trace, protocol, net) -> None:
 
     nnodes = machine.num_nodes
     ooo = machine.cpu_model == "ooo"
-    stream = ooo or system.racs is not None
+    # Stream mode services every miss through CoherenceCore →
+    # protocol → InterconnectModel, so it is per-hop exact; the batch
+    # walks below charge class-aggregate latencies and are only valid
+    # when every remote hop costs the same.  Non-flat topologies
+    # therefore route to stream mode alongside RACs and OOO.
+    stream = (ooo or system.racs is not None
+              or not machine.topology.is_flat)
     lat = machine.latencies
     lat_l2hit = lat.l2_hit
     lat_loc = lat.local

@@ -10,10 +10,12 @@ the communication behaviour the paper measures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.oltp.schema import BLOCK_SIZE, TpcbScale
 from repro.params import KB, MB, SERVERS_PER_CPU
+from repro.scenario.workload import BASELINE_WORKLOAD, WorkloadSpec
 
 # ---------------------------------------------------------------------------
 # Unscaled (paper-machine) footprints.  These are the calibration
@@ -69,6 +71,10 @@ class WorkloadConfig:
     dbwr_interval: int
     dbwr_batch: int
     seed: int
+    #: The transaction-mix definition driving generation; the default
+    #: is the paper's TPC-B profile (draw-for-draw identical to the
+    #: pre-scenario engine).
+    workload: WorkloadSpec = field(default=BASELINE_WORKLOAD)
 
     @classmethod
     def build(
@@ -78,6 +84,7 @@ class WorkloadConfig:
         scale: int = 32,
         servers_per_cpu: int = SERVERS_PER_CPU,
         seed: int = 2000,
+        workload: Optional[WorkloadSpec] = None,
     ) -> "WorkloadConfig":
         """Scale the paper workload down by ``scale`` for ``ncpus`` CPUs."""
         if ncpus <= 0 or scale <= 0 or servers_per_cpu <= 0:
@@ -102,6 +109,7 @@ class WorkloadConfig:
             dbwr_interval=32,
             dbwr_batch=16,
             seed=seed,
+            workload=workload if workload is not None else BASELINE_WORKLOAD,
         )
 
     @property

@@ -24,7 +24,7 @@ from repro.oltp.database import TpcbDatabase
 from repro.oltp.locks import LockManager
 from repro.oltp.log import RedoLog
 from repro.oltp.tracing import EngineTracer, NullTracer, ProcessContext
-from repro.oltp.txn import TpcbTransaction, generate_transaction
+from repro.oltp.txn import TpcbTransaction, generate_workload_transaction
 
 #: Redo record sizes in bytes (update vector + row piece).
 REDO_UPDATE_BYTES = 120
@@ -37,12 +37,18 @@ PIPE_MSG_BYTES = 128
 
 @dataclass
 class EngineStats:
-    """Run-level accounting for the engine itself."""
+    """Run-level accounting for the engine itself.
+
+    The per-kind counters default to 0 so archives written before the
+    scenario subsystem (no such keys in their metadata) still load.
+    """
 
     committed: int = 0
     lgwr_activations: int = 0
     dbwr_activations: int = 0
     remote_account_txns: int = 0
+    balance_txns: int = 0
+    scan_txns: int = 0
 
 
 class OracleEngine:
@@ -68,6 +74,10 @@ class OracleEngine:
         self._daemon_dispatches = 0
         self._since_lgwr = 0
         self._since_dbwr = 0
+        # Bursty-arrival scheduling state (workload.burst > 1): the
+        # same server keeps the floor for a whole burst.
+        self._burst_server: Optional[ProcessContext] = None
+        self._burst_left = 0
         # Per-server rotating cursor into the hot PGA area, so reuse is
         # spread over the whole hot set instead of one line.
         self._pga_cursor = [0] * config.num_servers
@@ -104,12 +114,37 @@ class OracleEngine:
 
     def run(self, n_txns: int) -> int:
         """Execute ``n_txns`` transactions; returns the commit count."""
+        workload = self.config.workload
         for _ in range(n_txns):
-            server = self.servers[self.rng.randrange(len(self.servers))]
-            txn = generate_transaction(self.rng, self.config.tpcb, self.stats.committed)
-            self._execute(server, txn)
+            server = self._next_server()
+            txn = generate_workload_transaction(
+                self.rng, self.config.tpcb, self.stats.committed, workload)
+            if txn.kind == "balance":
+                self._execute_balance(server, txn)
+            elif txn.kind == "scan":
+                self._execute_scan(server, txn)
+            else:
+                self._execute(server, txn)
             self._run_daemons()
         return self.stats.committed
+
+    def _next_server(self) -> ProcessContext:
+        """Pick the server for the next arrival.
+
+        ``burst == 1`` is exactly the historical per-transaction
+        uniform draw (one ``randrange`` — the baseline draw-sequence
+        contract); larger bursts re-draw only every ``burst``
+        transactions, so one server runs back-to-back.
+        """
+        burst = self.config.workload.burst
+        if burst == 1:
+            return self.servers[self.rng.randrange(len(self.servers))]
+        if self._burst_left <= 0 or self._burst_server is None:
+            self._burst_server = self.servers[
+                self.rng.randrange(len(self.servers))]
+            self._burst_left = burst
+        self._burst_left -= 1
+        return self._burst_server
 
     def run_one(self, server_index: int, txn: TpcbTransaction) -> None:
         """Execute one specific transaction on one server (tests)."""
@@ -185,6 +220,88 @@ class OracleEngine:
         self.stats.committed += 1
         self._since_lgwr += 1
         self._since_dbwr += 1
+        t.on_txn_boundary(self.stats.committed)
+
+    def _execute_balance(self, server: ProcessContext, txn: TpcbTransaction) -> None:
+        """Read-only balance inquiry: index descent, one row read.
+
+        No redo, no row dirtying, no daemon pressure — the read-only
+        half of a TPC-C-style payment/inquiry mix.  Trivially preserves
+        database consistency (no balances move).
+        """
+        t = self.tracer
+        scale = self.config.tpcb
+        t.on_switch(server)
+        t.on_code("ctx_switch")
+        t.on_syscall("pipe_read", PIPE_MSG_BYTES, obj=server.index)
+        t.on_code("sql_parse")
+        self._touch_pga(server, lines=self._pga_hot_lines // 2, write=True)
+        t.on_code("sql_execute")
+        self._touch_pga(server, lines=4, write=False)
+
+        self.locks.acquire("account", txn.account_id, owner=txn.txn_id, mode="S")
+        t.on_code("idx_search")
+        block_id, offset, index_path = self.db.lookup_row("account", txn.account_id)
+        entry = self.config.index_entry_bytes
+        for index_block in index_path:
+            frame = self.pool.get(index_block, for_write=False)
+            t.on_frame(
+                frame, (txn.account_id * entry) % (2048 - entry), entry, False,
+                dependent=True,
+            )
+        t.on_code("buf_get")
+        frame = self.pool.get(block_id, for_write=False)
+        t.on_frame(frame, offset, scale.account_row_bytes, False, dependent=True)
+        # Result row is staged into the session's PGA for the reply.
+        self._touch_pga(server, lines=2, write=True)
+        self.locks.release_all(txn.txn_id)
+        t.on_syscall("pipe_write", PIPE_MSG_BYTES, obj=server.index)
+        t.on_code("ctx_switch")
+
+        self.stats.committed += 1
+        self.stats.balance_txns += 1
+        t.on_txn_boundary(self.stats.committed)
+
+    def _execute_scan(self, server: ProcessContext, txn: TpcbTransaction) -> None:
+        """Read-only range scan over consecutive account blocks.
+
+        The analytics tail of a mixed workload: one index descent to
+        the start key, then a sequential sweep of ``scan_blocks``
+        buffer-pool blocks with per-block aggregation in the PGA.
+        """
+        t = self.tracer
+        scale = self.config.tpcb
+        t.on_switch(server)
+        t.on_code("ctx_switch")
+        t.on_syscall("pipe_read", PIPE_MSG_BYTES, obj=server.index)
+        t.on_code("sql_parse")
+        self._touch_pga(server, lines=self._pga_hot_lines // 2, write=True)
+        t.on_code("sql_execute")
+        self._touch_pga(server, lines=4, write=False)
+
+        t.on_code("idx_search")
+        block_id, _offset, index_path = self.db.lookup_row("account", txn.account_id)
+        entry = self.config.index_entry_bytes
+        for index_block in index_path:
+            frame = self.pool.get(index_block, for_write=False)
+            t.on_frame(
+                frame, (txn.account_id * entry) % (2048 - entry), entry, False,
+                dependent=True,
+            )
+        # Sequential block sweep, clamped to the account segment.
+        layout = self.db.layout
+        end = min(block_id + max(1, txn.scan_blocks), layout.teller_base)
+        for blk in range(block_id, end):
+            t.on_code("buf_get")
+            frame = self.pool.get(blk, for_write=False)
+            rows = max(1, 2048 // max(1, scale.account_row_bytes))
+            t.on_frame(frame, 0, min(2048, rows * scale.account_row_bytes), False)
+            self._touch_pga(server, lines=1, write=True)
+        t.on_syscall("pipe_write", PIPE_MSG_BYTES, obj=server.index)
+        t.on_code("ctx_switch")
+
+        self.stats.committed += 1
+        self.stats.scan_txns += 1
         t.on_txn_boundary(self.stats.committed)
 
     def _update_row(

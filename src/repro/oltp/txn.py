@@ -12,6 +12,7 @@ import random
 from dataclasses import dataclass
 
 from repro.oltp.schema import TpcbScale
+from repro.scenario.workload import WorkloadSpec, ZipfSampler
 
 #: TPC-B probability that the account belongs to the teller's branch.
 LOCAL_ACCOUNT_PROB = 0.85
@@ -19,15 +20,28 @@ LOCAL_ACCOUNT_PROB = 0.85
 #: TPC-B delta magnitude bound.
 MAX_DELTA = 999_999
 
+#: Range-scan length bounds (blocks) for ``scan`` transactions.
+SCAN_MIN_BLOCKS = 4
+SCAN_MAX_BLOCKS = 8
+
 
 @dataclass(frozen=True)
 class TpcbTransaction:
-    """One banking transaction: who, which account, how much."""
+    """One transaction: who, which account, how much, what shape.
+
+    ``kind`` is one of :data:`repro.scenario.workload.TXN_KINDS`:
+    the classic read-modify-write ``tpcb`` update, a read-only
+    ``balance`` point query, or a read-only ``scan`` over
+    ``scan_blocks`` consecutive account blocks starting at the
+    account's block.
+    """
 
     txn_id: int
     teller_id: int
     account_id: int
     delta: int
+    kind: str = "tpcb"
+    scan_blocks: int = 0
 
     def branch_id(self, scale: TpcbScale) -> int:
         """The branch debited/credited: the *account's* branch."""
@@ -49,3 +63,51 @@ def generate_transaction(rng: random.Random, scale: TpcbScale, txn_id: int) -> T
     if rng.random() < 0.5:
         delta = -delta
     return TpcbTransaction(txn_id, teller, account, delta)
+
+
+def _draw_account(rng: random.Random, scale: TpcbScale,
+                  workload: WorkloadSpec, teller: int) -> int:
+    """Branch choice per the (possibly re-weighted) locality rule, then
+    an account within the branch — uniform when ``skew`` is 0, else
+    Zipf-ranked with rank 0 the branch's hottest account."""
+    home_branch = scale.branch_of_teller(teller)
+    if scale.branches == 1 or rng.random() < workload.local_account_prob:
+        branch = home_branch
+    else:
+        branch = rng.randrange(scale.branches - 1)
+        if branch >= home_branch:
+            branch += 1
+    if workload.skew > 0:
+        index = ZipfSampler(scale.accounts_per_branch,
+                            workload.skew).sample(rng)
+    else:
+        index = rng.randrange(scale.accounts_per_branch)
+    return branch * scale.accounts_per_branch + index
+
+
+def generate_workload_transaction(
+    rng: random.Random, scale: TpcbScale, txn_id: int,
+    workload: WorkloadSpec,
+) -> TpcbTransaction:
+    """Draw one transaction according to a :class:`WorkloadSpec`.
+
+    The baseline spec delegates to :func:`generate_transaction`, so
+    the consumed rng sequence — and therefore every downstream trace —
+    is bit-identical to the pre-scenario generator.
+    """
+    if workload.is_baseline:
+        return generate_transaction(rng, scale, txn_id)
+    kind = workload.draw_kind(rng)
+    teller = rng.randrange(scale.tellers)
+    account = _draw_account(rng, scale, workload, teller)
+    if kind == "tpcb":
+        delta = rng.randint(1, MAX_DELTA)
+        if rng.random() < 0.5:
+            delta = -delta
+        return TpcbTransaction(txn_id, teller, account, delta)
+    if kind == "balance":
+        return TpcbTransaction(txn_id, teller, account, 0, kind="balance")
+    blocks = SCAN_MIN_BLOCKS + rng.randrange(
+        SCAN_MAX_BLOCKS - SCAN_MIN_BLOCKS + 1)
+    return TpcbTransaction(txn_id, teller, account, 0,
+                           kind="scan", scan_blocks=blocks)

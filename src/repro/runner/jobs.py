@@ -23,12 +23,14 @@ from dataclasses import dataclass
 from repro.core.machine import MachineConfig
 from repro.integrity.errors import ConfigError
 from repro.runner.tracestore import TraceSpec
+from repro.scenario.workload import BASELINE_WORKLOAD, WorkloadSpec
 from repro.trace.storage import FORMAT_VERSION
 
 #: Simulation-semantics version baked into every job hash.  Bump on any
 #: change that makes previously cached results wrong (latency tables,
-#: protocol behaviour, replay-loop fixes, ...).
-CODE_VERSION = 1
+#: protocol behaviour, replay-loop fixes, ...).  2: scenario subsystem
+#: (workload specs in trace payloads, topology in machine payloads).
+CODE_VERSION = 2
 
 #: Integrity-check tiers a job may request (mirrors
 #: :class:`~repro.integrity.checker.CheckLevel` spellings).
@@ -104,6 +106,7 @@ class SimJob:
             )
         try:
             trace = data["trace"]
+            workload = trace.get("workload")
             spec = TraceSpec(
                 ncpus=int(trace["ncpus"]),
                 scale=int(trace["scale"]),
@@ -112,6 +115,10 @@ class SimJob:
                 warmup_txns=(
                     None if trace.get("warmup_txns") is None
                     else int(trace["warmup_txns"])
+                ),
+                workload=(
+                    BASELINE_WORKLOAD if workload is None
+                    else WorkloadSpec.from_dict(workload)
                 ),
             )
             machine = MachineConfig.from_dict(data["machine"])

@@ -26,6 +26,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.scenario.workload import BASELINE_WORKLOAD, WorkloadSpec
 from repro.trace.generator import OltpTrace, build_trace, stream_trace
 from repro.trace.storage import (
     FORMAT_VERSION,
@@ -58,13 +59,23 @@ class TraceSpec:
     txns: int
     seed: int
     warmup_txns: Optional[int] = None
+    workload: WorkloadSpec = BASELINE_WORKLOAD
 
     @property
     def key(self) -> str:
-        """Stable human-readable identity, used in archive filenames."""
+        """Stable human-readable identity, used in archive filenames.
+
+        The baseline workload contributes nothing to the key (its
+        ``tag`` is empty), so archives spilled before the scenario
+        subsystem keep hitting; non-baseline workloads append their
+        content-derived tag.
+        """
         base = f"n{self.ncpus}_s{self.scale}_t{self.txns}_seed{self.seed}"
         if self.warmup_txns is not None:
             base += f"_w{self.warmup_txns}"
+        tag = self.workload.tag
+        if tag:
+            base += f"_wl{tag}"
         return base
 
     @property
@@ -85,6 +96,7 @@ class TraceSpec:
             "txns": self.txns,
             "seed": self.seed,
             "warmup_txns": self.warmup_txns,
+            "workload": self.workload.to_dict(),
         }
 
     def build(self) -> OltpTrace:
@@ -95,6 +107,7 @@ class TraceSpec:
             txns=self.txns,
             warmup_txns=self.warmup_txns,
             seed=self.seed,
+            workload=self.workload,
         )
 
 
@@ -303,6 +316,7 @@ class StreamingTraceStore:
             warmup_txns=spec.warmup_txns,
             seed=spec.seed,
             chunk_txns=self.chunk_txns,
+            workload=spec.workload,
         )
         self.stats.builds += 1
         current_metrics().count("stream.builds")

@@ -1,0 +1,53 @@
+"""Scenario subsystem: composable workload mixes × machine topologies.
+
+A *scenario* names one point in the two-axis space the paper's
+single experiment occupies one corner of:
+
+* :class:`~repro.scenario.workload.WorkloadSpec` — which transactions
+  arrive (mix, skew, burstiness);
+* :class:`~repro.scenario.topology.TopologySpec` — how far apart the
+  nodes are (uniform ccNUMA, hardware islands, chiplet tables).
+
+``repro.scenario.registry`` holds the named catalogue behind
+``repro-oltp scenario list/describe/run``.
+
+This package's ``__init__`` only pulls in the two spec modules —
+they are dependency-free leaves that ``repro.core.machine`` imports.
+The registry (which imports machines and trace specs) loads lazily
+via module ``__getattr__`` so the import graph stays acyclic.
+"""
+
+from __future__ import annotations
+
+from repro.scenario.topology import TOPOLOGY_KINDS, UNIFORM, TopologySpec
+from repro.scenario.workload import (
+    BASELINE_WORKLOAD,
+    TXN_KINDS,
+    WorkloadSpec,
+    ZipfSampler,
+)
+
+__all__ = [
+    "TOPOLOGY_KINDS",
+    "TXN_KINDS",
+    "UNIFORM",
+    "BASELINE_WORKLOAD",
+    "TopologySpec",
+    "WorkloadSpec",
+    "ZipfSampler",
+    "Scenario",
+    "all_scenarios",
+    "get_scenario",
+    "scenario_names",
+]
+
+_REGISTRY_EXPORTS = ("Scenario", "all_scenarios", "get_scenario",
+                     "scenario_names", "describe_scenario")
+
+
+def __getattr__(name: str):
+    if name in _REGISTRY_EXPORTS:
+        from repro.scenario import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

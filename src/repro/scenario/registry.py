@@ -1,0 +1,294 @@
+"""The scenario registry: named workload × topology design points.
+
+A :class:`Scenario` binds a :class:`~repro.scenario.workload.WorkloadSpec`
+to a :class:`~repro.scenario.topology.TopologySpec` and a processor
+count, and names the combination.  The name is the only handle users
+need: ``repro-oltp scenario run zipf-uni`` runs it, ``repro-oltp
+campaign islands-mp8`` schedules it through the cached campaign
+runner, and a service submission of ``{"scenario": "bursty-mp8"}``
+expands to the same jobs server-side.
+
+Every scenario resolves to the *integration ladder* the paper sweeps —
+the Base off-chip design, the on-chip L2+MC midpoint, and the fully
+integrated chip — all replaying the scenario's single trace.  Job
+identity flows entirely through the ordinary content-hash machinery
+(the workload rides in the trace payload, the topology in the machine
+payload), so scenario results cache and deduplicate exactly like
+figure results, with stable hashes across processes.
+
+``tpcb-uni`` / ``tpcb-mp8`` are the paper's own baseline points: their
+workload tag is empty and their topology is flat, so they hash and
+replay bit-identically to the pre-scenario figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.integrity.errors import ConfigError
+from repro.scenario.topology import UNIFORM, TopologySpec
+from repro.scenario.workload import BASELINE_WORKLOAD, WorkloadSpec
+
+#: Default per-run transaction counts for service-side expansion and
+#: other callers with no Settings in hand; mirror ``Settings.quick()``
+#: (the service corpus default) so ad-hoc submissions stay cheap.
+QUICK_SCALE = 64
+QUICK_UNI_TXNS = 120
+QUICK_MP_TXNS = 320
+DEFAULT_SEED = 7
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, serializable workload × topology design point."""
+
+    name: str
+    description: str
+    ncpus: int = 1
+    workload: WorkloadSpec = BASELINE_WORKLOAD
+    topology: TopologySpec = UNIFORM
+    #: Logical RAC bytes added to the fully integrated rung (0 = none);
+    #: only meaningful for multiprocessor scenarios.
+    rac_bytes: int = 0
+
+    def __post_init__(self):
+        if not self.name or not str(self.name).strip():
+            raise ConfigError("scenario name must be a non-empty string")
+        if not isinstance(self.workload, WorkloadSpec):
+            raise ConfigError(
+                f"scenario workload must be a WorkloadSpec, got "
+                f"{type(self.workload).__name__}"
+            )
+        if not isinstance(self.topology, TopologySpec):
+            raise ConfigError(
+                f"scenario topology must be a TopologySpec, got "
+                f"{type(self.topology).__name__}"
+            )
+        if self.ncpus < 1:
+            raise ConfigError("scenario ncpus must be at least 1")
+        if self.rac_bytes < 0:
+            raise ConfigError("scenario rac_bytes must be non-negative")
+        if self.rac_bytes and self.ncpus == 1:
+            raise ConfigError("a RAC only makes sense in a multiprocessor")
+        # The ladder runs one core per node, so nodes == ncpus here.
+        self.topology.validate_for(self.ncpus)
+
+    # -- materialization -------------------------------------------------------
+
+    def machines(self, scale: int) -> List[Tuple[str, "object"]]:
+        """The scenario's integration ladder as ``(label, machine)`` rows.
+
+        Base off-chip → on-chip L2+MC → fully integrated (plus a RAC
+        variant when the scenario carries one), every rung on the
+        scenario's topology.
+        """
+        from repro.core.machine import MachineConfig
+
+        rungs = [
+            MachineConfig.base(self.ncpus, scale=scale),
+            MachineConfig.integrated_l2_mc(self.ncpus, scale=scale),
+            MachineConfig.fully_integrated(self.ncpus, scale=scale),
+        ]
+        if self.rac_bytes:
+            rungs.append(MachineConfig.fully_integrated(
+                self.ncpus, scale=scale, rac_size=self.rac_bytes))
+        rungs = [m.with_(topology=self.topology) for m in rungs]
+        return [(m.label, m) for m in rungs]
+
+    def trace_spec(self, *, scale: int = QUICK_SCALE,
+                   txns: Optional[int] = None,
+                   seed: int = DEFAULT_SEED) -> "object":
+        """The scenario's workload trace as a cacheable TraceSpec."""
+        from repro.runner.tracestore import TraceSpec
+
+        if txns is None:
+            txns = QUICK_UNI_TXNS if self.ncpus == 1 else QUICK_MP_TXNS
+        return TraceSpec(ncpus=self.ncpus, scale=scale, txns=txns,
+                         seed=seed, workload=self.workload)
+
+    def jobs(self, *, scale: int = QUICK_SCALE, txns: Optional[int] = None,
+             seed: int = DEFAULT_SEED, check: str = "off") -> List["object"]:
+        """The scenario's ladder as content-addressed simulation jobs."""
+        from repro.runner.jobs import SimJob
+
+        spec = self.trace_spec(scale=scale, txns=txns, seed=seed)
+        return [SimJob(spec=spec, machine=machine, check=check)
+                for _, machine in self.machines(scale)]
+
+    def summary(self) -> str:
+        """One-line shape summary for listings."""
+        return (f"{self.ncpus} cpu{'s' if self.ncpus > 1 else ''}, "
+                f"{self.workload.summary()}, {self.topology.summary()}")
+
+    # -- serialization (exact round trip) --------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "ncpus": self.ncpus,
+            "workload": self.workload.to_dict(),
+            "topology": self.topology.to_dict(),
+            "rac_bytes": self.rac_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        try:
+            return cls(
+                name=data["name"],
+                description=data.get("description", ""),
+                ncpus=int(data.get("ncpus", 1)),
+                workload=(
+                    BASELINE_WORKLOAD if data.get("workload") is None
+                    else WorkloadSpec.from_dict(data["workload"])
+                ),
+                topology=(
+                    UNIFORM if data.get("topology") is None
+                    else TopologySpec.from_dict(data["topology"])
+                ),
+                rac_bytes=int(data.get("rac_bytes", 0)),
+            )
+        except ConfigError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed scenario spec: {exc}") from None
+
+
+# -- registry ------------------------------------------------------------------
+
+_SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add ``scenario`` to the registry; duplicate names are an error."""
+    if scenario.name in _SCENARIOS:
+        raise ConfigError(f"scenario {scenario.name!r} is already registered")
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """Every registered scenario name, in registration order."""
+    return tuple(_SCENARIOS)
+
+
+def all_scenarios() -> Tuple[Scenario, ...]:
+    return tuple(_SCENARIOS.values())
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name.
+
+    Unknown names fail fast with a :class:`ConfigError` that lists the
+    registered names, so a typo in a CLI target or a service submission
+    surfaces the full menu instead of a bare key error.
+    """
+    scenario = _SCENARIOS.get(name)
+    if scenario is None:
+        known = ", ".join(scenario_names())
+        raise ConfigError(
+            f"unknown scenario {name!r}; registered scenarios: {known}"
+        )
+    return scenario
+
+
+def describe_scenario(name: str) -> str:
+    """Multi-line human description of one scenario."""
+    scenario = get_scenario(name)
+    lines = [
+        f"scenario {scenario.name}: {scenario.description}",
+        f"  processors: {scenario.ncpus}",
+        f"  workload:   {scenario.workload.summary()}",
+        f"  topology:   {scenario.topology.summary()}",
+        "  ladder:",
+    ]
+    for label, _ in scenario.machines(scale=QUICK_SCALE):
+        lines.append(f"    - {label}")
+    return "\n".join(lines)
+
+
+def jobs_for_scenario_spec(spec: dict) -> List["object"]:
+    """Expand a service-side ``{"scenario": name, ...}`` submission.
+
+    Optional keys ``scale``, ``txns``, ``seed`` and ``check`` size the
+    run (defaults mirror the quick service corpus).  Every malformed
+    field maps to :class:`ConfigError` so the HTTP layer can answer 400
+    without accepting any of the batch.
+    """
+    name = spec.get("scenario")
+    if not isinstance(name, str):
+        raise ConfigError("scenario spec needs a string 'scenario' name")
+    scenario = get_scenario(name)
+    try:
+        scale = int(spec.get("scale", QUICK_SCALE))
+        txns = None if spec.get("txns") is None else int(spec["txns"])
+        seed = int(spec.get("seed", DEFAULT_SEED))
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"malformed scenario spec: {exc}") from None
+    check = spec.get("check", "off")
+    try:
+        return scenario.jobs(scale=scale, txns=txns, seed=seed, check=check)
+    except ValueError as exc:  # SimJob rejects unknown check levels
+        raise ConfigError(str(exc)) from None
+
+
+# -- built-in scenarios --------------------------------------------------------
+
+#: Logical bytes of the paper's 8 MB remote access cache.
+_RAC_8MB = 8 * 1024 * 1024
+
+register(Scenario(
+    "tpcb-uni",
+    "paper baseline: uniform TPC-B on one processor",
+))
+register(Scenario(
+    "tpcb-mp8",
+    "paper baseline: uniform TPC-B on the 8-CPU flat ccNUMA",
+    ncpus=8,
+))
+register(Scenario(
+    "zipf-uni",
+    "Zipf-skewed account accesses (theta=0.8) on one processor",
+    workload=WorkloadSpec(name="zipf", skew=0.8),
+))
+register(Scenario(
+    "islands-mp8",
+    "hardware islands: 8 nodes in two 4-node groups, +120 cycles "
+    "across the group boundary",
+    ncpus=8,
+    topology=TopologySpec.islands(group_size=4, island_extra=120),
+))
+register(Scenario(
+    "tpcc-mix-mp8",
+    "TPC-C-style mix (50% tpcb updates, 38% balance lookups, "
+    "12% scans) on 8 CPUs",
+    ncpus=8,
+    workload=WorkloadSpec(
+        name="tpcc-mix",
+        mix=(("tpcb", 0.5), ("balance", 0.38), ("scan", 0.12)),
+    ),
+))
+register(Scenario(
+    "read-heavy-uni",
+    "read-heavy mix (70% balance lookups, 30% scans) on one processor",
+    workload=WorkloadSpec(
+        name="read-heavy",
+        mix=(("balance", 0.7), ("scan", 0.3)),
+    ),
+))
+register(Scenario(
+    "bursty-mp8",
+    "bursty arrivals: each server runs 4-transaction bursts on 8 CPUs",
+    ncpus=8,
+    workload=WorkloadSpec(name="bursty", burst=4),
+))
+register(Scenario(
+    "chiplet-mp8",
+    "chiplet latency table: +60 cycles one hop out, +140 beyond, "
+    "with the paper's 8 MB RAC rung",
+    ncpus=8,
+    topology=TopologySpec.chiplet(distance_extra=(0, 60, 140)),
+    rac_bytes=_RAC_8MB,
+))

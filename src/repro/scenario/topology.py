@@ -1,0 +1,175 @@
+"""Inter-node topology models: where the paper's uniform ccNUMA ends.
+
+The paper folds all interconnect structure into the per-class
+latencies of Figure 3 — every remote node is equally far away.  A
+:class:`TopologySpec` keeps that as the ``uniform`` default while
+letting a scenario describe machines where distance matters:
+
+* ``uniform`` — today's flat ccNUMA; every remote hop costs the same.
+  Bit-identical to the pre-topology code path by construction.
+* ``islands`` — "hardware islands" (OLTP on Hardware Islands,
+  PAPERS.md): nodes are grouped into symmetric islands with fast
+  intra-island links; crossing islands adds a fixed per-hop penalty.
+* ``chiplet`` — chiplet/3D-stacked packages (Simulation-Driven
+  Evaluation of Chiplet-Based Architectures, PAPERS.md): the one-way
+  extra cost is a table indexed by inter-node distance, so near
+  chiplets are cheap and far ones grow linearly (or however the table
+  says).
+
+A spec also owns the *base* latency table resolution: when
+``base_table`` is set it replaces the Figure-3 lookup outright — this
+is the one latency-override path, used by the latency-sensitivity
+ablation (the old ``MachineConfig.latency_override`` special case).
+
+Extras are *one-way* cycle counts between two nodes;
+:meth:`hop_extra` is symmetric and zero on the diagonal.  The
+interconnect model composes them per protocol hop: 2-hop misses pay
+the requester↔home round trip, 3-hop misses pay the
+requester→home→owner→requester triangle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional, Tuple
+
+from repro.integrity.errors import ConfigError
+from repro.params import LatencyTable
+
+#: The recognised topology kinds.
+TOPOLOGY_KINDS = ("uniform", "islands", "chiplet")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Inter-node distance model plus optional base-table override."""
+
+    kind: str = "uniform"
+    #: ``islands``: nodes per island (consecutive node ids).
+    group_size: int = 1
+    #: ``islands``: one-way extra cycles for an island-crossing hop.
+    island_extra: int = 0
+    #: ``chiplet``: one-way extra cycles by inter-node distance;
+    #: entry 0 (distance 0) must be 0, distances past the end clamp
+    #: to the last entry.
+    distance_extra: Tuple[int, ...] = ()
+    #: When set, replaces the Figure-3 base table entirely (the
+    #: latency-sensitivity ablation hook).
+    base_table: Optional[LatencyTable] = None
+
+    def __post_init__(self):
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ConfigError(
+                f"unknown topology kind {self.kind!r}; expected one of "
+                f"{TOPOLOGY_KINDS}"
+            )
+        if self.kind == "islands":
+            if self.group_size < 1:
+                raise ConfigError("islands topology needs group_size >= 1")
+            if self.island_extra < 0:
+                raise ConfigError("island_extra must be non-negative")
+        if self.kind == "chiplet":
+            if not self.distance_extra:
+                raise ConfigError(
+                    "chiplet topology needs a non-empty distance_extra table"
+                )
+            if self.distance_extra[0] != 0:
+                raise ConfigError(
+                    "distance_extra[0] is the same-node distance and must be 0"
+                )
+            if any(x < 0 for x in self.distance_extra):
+                raise ConfigError("distance_extra entries must be non-negative")
+        if not isinstance(self.distance_extra, tuple):
+            # Tolerate list input (wire payloads); normalize to a tuple
+            # so the spec stays hashable.
+            object.__setattr__(self, "distance_extra",
+                               tuple(self.distance_extra))
+
+    # -- structure queries ---------------------------------------------------
+
+    @property
+    def is_flat(self) -> bool:
+        """True when every remote hop costs the same as today —
+        the engines' uniform fast paths stay exactly valid."""
+        if self.kind == "islands":
+            return self.island_extra == 0
+        if self.kind == "chiplet":
+            return all(x == 0 for x in self.distance_extra)
+        return True
+
+    def validate_for(self, num_nodes: int) -> None:
+        """Check the spec fits a machine with ``num_nodes`` nodes."""
+        if self.kind == "islands" and num_nodes % self.group_size:
+            raise ConfigError(
+                f"islands topology with group_size={self.group_size} does "
+                f"not tile {num_nodes} nodes evenly"
+            )
+
+    def hop_extra(self, a: int, b: int) -> int:
+        """One-way extra cycles for a message from node ``a`` to ``b``."""
+        if a == b:
+            return 0
+        if self.kind == "islands":
+            if a // self.group_size != b // self.group_size:
+                return self.island_extra
+            return 0
+        if self.kind == "chiplet":
+            dist = min(abs(a - b), len(self.distance_extra) - 1)
+            return self.distance_extra[dist]
+        return 0
+
+    def summary(self) -> str:
+        """One-line human description for ``scenario describe``."""
+        if self.kind == "islands":
+            return (f"hardware islands of {self.group_size} nodes, "
+                    f"+{self.island_extra} cycles/hop across islands")
+        if self.kind == "chiplet":
+            table = ",".join(str(x) for x in self.distance_extra)
+            return f"chiplet package, per-distance extras [{table}]"
+        return "uniform ccNUMA (paper Figure 3)"
+
+    # -- serialization (job hashing; exact round trip) -----------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "group_size": self.group_size,
+            "island_extra": self.island_extra,
+            "distance_extra": list(self.distance_extra),
+            "base_table": (
+                None if self.base_table is None else asdict(self.base_table)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TopologySpec":
+        table = data.get("base_table")
+        return cls(
+            kind=data.get("kind", "uniform"),
+            group_size=data.get("group_size", 1),
+            island_extra=data.get("island_extra", 0),
+            distance_extra=tuple(data.get("distance_extra") or ()),
+            base_table=None if table is None else LatencyTable(**table),
+        )
+
+    # -- factories -----------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, base_table: Optional[LatencyTable] = None) -> "TopologySpec":
+        """Today's flat ccNUMA; ``base_table`` overrides Figure 3."""
+        return cls(base_table=base_table)
+
+    @classmethod
+    def islands(cls, group_size: int, island_extra: int) -> "TopologySpec":
+        """Symmetric node groups with an inter-island hop penalty."""
+        return cls(kind="islands", group_size=group_size,
+                   island_extra=island_extra)
+
+    @classmethod
+    def chiplet(cls, distance_extra: Tuple[int, ...]) -> "TopologySpec":
+        """Per-distance extra-latency table (chiplet/3D packages)."""
+        return cls(kind="chiplet", distance_extra=tuple(distance_extra))
+
+
+#: Shared default instance — the paper's machine.
+UNIFORM = TopologySpec()

@@ -1,0 +1,232 @@
+"""Workload-mix definitions: what transactions a scenario runs.
+
+The paper measures exactly one workload — TPC-B, uniform account
+choice, one transaction shape.  A :class:`WorkloadSpec` generalizes
+that along the axes OLTP studies actually vary:
+
+* **mix** — fractions of transaction kinds per arrival.  ``tpcb`` is
+  the paper's read-modify-write banking transaction; ``balance`` is a
+  read-only point query (TPC-C-style payment/balance inquiry);
+  ``scan`` is a short read-only range scan (the analytics tail of a
+  mixed workload).
+* **skew** — Zipf(theta) account selection inside the chosen branch
+  (theta 0 = uniform, the TPC-B rule).  Hot accounts concentrate on
+  low row ids, so skew concentrates misses on a few blocks — the
+  access-pattern axis that drives coherence traffic.
+* **local_account_prob** — the TPC-B remote-account rule (0.85 in the
+  spec); lowering it makes cross-branch (and on an MP, cross-node)
+  traffic dominate.
+* **burst** — arrival burstiness: the same server is dispatched
+  ``burst`` consecutive transactions before the scheduler re-draws,
+  modelling bursty arrivals / connection pools instead of the
+  baseline's per-transaction uniform server draw.
+
+The **baseline spec is draw-for-draw identical** to the pre-scenario
+code: a single-kind mix consumes no mix draw, ``skew=0`` uses the
+original ``randrange`` account draw, ``burst=1`` keeps the
+per-transaction server draw — so baseline traces (and everything
+downstream: goldens, job hashes' results, figure CSVs) are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from bisect import bisect_right
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Tuple
+
+from repro.integrity.errors import ConfigError
+
+#: Transaction kinds a mix may reference.
+TXN_KINDS = ("tpcb", "balance", "scan")
+
+#: TPC-B probability that the account belongs to the teller's branch
+#: (kept in sync with :data:`repro.oltp.txn.LOCAL_ACCOUNT_PROB`; the
+#: duplication avoids a scenario→oltp import edge).
+DEFAULT_LOCAL_ACCOUNT_PROB = 0.85
+
+#: Tolerance when checking that mix fractions sum to 1.
+MIX_SUM_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One named transaction-mix definition."""
+
+    name: str = "tpcb"
+    mix: Tuple[Tuple[str, float], ...] = (("tpcb", 1.0),)
+    skew: float = 0.0
+    local_account_prob: float = DEFAULT_LOCAL_ACCOUNT_PROB
+    burst: int = 1
+
+    def __post_init__(self):
+        if not self.name or not str(self.name).strip():
+            raise ConfigError("workload name must be a non-empty string")
+        # Normalize wire payloads (lists of lists) into hashable tuples.
+        object.__setattr__(
+            self, "mix",
+            tuple((str(k), float(f)) for k, f in self.mix))
+        if not self.mix:
+            raise ConfigError("workload mix must not be empty")
+        seen = set()
+        for kind, frac in self.mix:
+            if kind not in TXN_KINDS:
+                raise ConfigError(
+                    f"unknown transaction kind {kind!r}; expected one of "
+                    f"{TXN_KINDS}"
+                )
+            if kind in seen:
+                raise ConfigError(f"transaction kind {kind!r} repeated in mix")
+            seen.add(kind)
+            if frac <= 0:
+                raise ConfigError(
+                    f"mix fraction for {kind!r} must be positive, got {frac}"
+                )
+        total = sum(frac for _, frac in self.mix)
+        if abs(total - 1.0) > MIX_SUM_TOLERANCE:
+            raise ConfigError(
+                f"mix fractions must sum to 1, got {total!r}"
+            )
+        if self.skew < 0:
+            raise ConfigError("skew (Zipf theta) must be non-negative")
+        if not 0 < self.local_account_prob <= 1:
+            raise ConfigError("local_account_prob must be in (0, 1]")
+        if self.burst < 1:
+            raise ConfigError("burst must be at least 1")
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def is_baseline(self) -> bool:
+        """True when generation is draw-for-draw the paper's TPC-B."""
+        return (
+            self.mix == (("tpcb", 1.0),)
+            and self.skew == 0.0
+            and self.local_account_prob == DEFAULT_LOCAL_ACCOUNT_PROB
+            and self.burst == 1
+        )
+
+    def fraction(self, kind: str) -> float:
+        for k, frac in self.mix:
+            if k == kind:
+                return frac
+        return 0.0
+
+    def draw_kind(self, rng: random.Random) -> str:
+        """Draw a transaction kind; single-kind mixes consume no draw
+        (the baseline draw-sequence contract)."""
+        if len(self.mix) == 1:
+            return self.mix[0][0]
+        r = rng.random()
+        acc = 0.0
+        for kind, frac in self.mix:
+            acc += frac
+            if r < acc:
+                return kind
+        return self.mix[-1][0]
+
+    @property
+    def tag(self) -> str:
+        """Short filesystem/cache-key-safe identity; empty for the
+        baseline so existing trace-archive keys stay unchanged."""
+        if self.is_baseline:
+            return ""
+        digest = hashlib.sha256(
+            json.dumps(self.to_dict(), sort_keys=True,
+                       separators=(",", ":")).encode()
+        ).hexdigest()[:8]
+        slug = "".join(c if c.isalnum() else "-" for c in self.name)
+        return f"{slug}-{digest}"
+
+    def summary(self) -> str:
+        """One-line human description for ``scenario describe``."""
+        mix = "+".join(f"{int(round(frac * 100))}%{kind}"
+                       for kind, frac in self.mix)
+        parts = [mix]
+        if self.skew:
+            parts.append(f"zipfθ={self.skew:g}")
+        if self.local_account_prob != DEFAULT_LOCAL_ACCOUNT_PROB:
+            parts.append(f"local={self.local_account_prob:g}")
+        if self.burst > 1:
+            parts.append(f"burst={self.burst}")
+        return ", ".join(parts)
+
+    # -- serialization (trace meta + job hashing; exact round trip) ----------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "mix": [[kind, frac] for kind, frac in self.mix],
+            "skew": self.skew,
+            "local_account_prob": self.local_account_prob,
+            "burst": self.burst,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadSpec":
+        return cls(
+            name=data["name"],
+            mix=tuple((k, f) for k, f in data["mix"]),
+            skew=data.get("skew", 0.0),
+            local_account_prob=data.get(
+                "local_account_prob", DEFAULT_LOCAL_ACCOUNT_PROB),
+            burst=data.get("burst", 1),
+        )
+
+
+#: Shared default instance — the paper's workload.
+BASELINE_WORKLOAD = WorkloadSpec()
+
+
+@lru_cache(maxsize=64)
+def _zipf_cdf(n: int, theta: float) -> Tuple[float, ...]:
+    """Cumulative Zipf(theta) distribution over ranks 0..n-1.
+
+    Pure-python and deterministic (no float ordering surprises: the
+    sum is accumulated left to right), so two processes building the
+    same workload sample identically.
+    """
+    weights = [1.0 / (k + 1) ** theta for k in range(n)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cdf.append(acc / total)
+    cdf[-1] = 1.0
+    return tuple(cdf)
+
+
+class ZipfSampler:
+    """Seed-deterministic Zipf(theta) rank sampler over ``n`` items.
+
+    Rank 0 is the hottest item.  One uniform draw per sample
+    (inverse-CDF via bisection), so the consumed rng sequence is
+    exactly one ``random()`` call per transaction.
+    """
+
+    def __init__(self, n: int, theta: float):
+        if n < 1:
+            raise ConfigError("ZipfSampler needs at least one item")
+        if theta < 0:
+            raise ConfigError("Zipf theta must be non-negative")
+        self.n = n
+        self.theta = theta
+        self._cdf = _zipf_cdf(n, theta) if theta > 0 else None
+
+    def sample(self, rng: random.Random) -> int:
+        u = rng.random()
+        if self._cdf is None:
+            return int(u * self.n)
+        return bisect_right(self._cdf, u)
+
+    def expected_fraction(self, rank: int) -> float:
+        """Theoretical probability mass of ``rank`` (tests)."""
+        if self._cdf is None:
+            return 1.0 / self.n
+        lo = self._cdf[rank - 1] if rank else 0.0
+        return self._cdf[rank] - lo

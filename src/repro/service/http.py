@@ -13,7 +13,10 @@ Endpoints (all JSON in, JSON out)::
 A job spec is the wire form of :class:`~repro.runner.jobs.SimJob`
 (``{"trace": {...}, "machine": {...}, "check": "off"}``); the returned
 ``id`` is its content hash, so ids are stable across restarts and
-identical submissions share one id.
+identical submissions share one id.  A spec of the form
+``{"scenario": "<name>", ...}`` expands server-side into the named
+scenario's integration-ladder jobs (optional ``scale``/``txns``/
+``seed``/``check`` keys size them).
 
 The error taxonomy crosses the wire as
 ``{"error": {"type": <ReproError class>, "message": ...}}`` with the
@@ -179,8 +182,22 @@ class _Handler(BaseHTTPRequestHandler):
                 f"batch of {len(specs)} exceeds {MAX_BATCH_JOBS} jobs"
             )
         # Validate the whole batch before accepting any of it, so a 400
-        # never leaves a partial submission behind.
-        jobs = [SimJob.from_dict(spec) for spec in specs]
+        # never leaves a partial submission behind.  A spec carrying a
+        # "scenario" key expands server-side into that scenario's
+        # ladder of ordinary jobs.
+        from repro.scenario.registry import jobs_for_scenario_spec
+
+        jobs = []
+        for spec in specs:
+            if isinstance(spec, dict) and "scenario" in spec:
+                jobs.extend(jobs_for_scenario_spec(spec))
+            else:
+                jobs.append(SimJob.from_dict(spec))
+        if len(jobs) > MAX_BATCH_JOBS:
+            raise ConfigError(
+                f"batch expands to {len(jobs)} jobs, exceeding "
+                f"{MAX_BATCH_JOBS}"
+            )
         entries = self.server.service.submit_many(jobs)
         self._send_json(200, {
             "count": len(entries),

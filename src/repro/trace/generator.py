@@ -205,19 +205,23 @@ def build_trace(
     txns: int = 1000,
     warmup_txns: Optional[int] = None,
     seed: int = 2000,
+    workload=None,
 ) -> OltpTrace:
     """Run the OLTP engine and capture its reference trace.
 
     ``txns`` are the *measured* transactions; ``warmup_txns`` default
     to enough transactions for every server process to have run several
     times, so caches and the buffer pool reach steady state before
-    measurement starts.
+    measurement starts.  ``workload`` (a
+    :class:`~repro.scenario.workload.WorkloadSpec`, default the
+    paper's TPC-B) selects the transaction mix the engine generates.
     """
     from repro.obs import current_tracer
 
     with current_tracer().span("trace.build", ncpus=ncpus, scale=scale,
                                txns=txns, seed=seed):
-        config = WorkloadConfig.build(ncpus=ncpus, scale=scale, seed=seed)
+        config = WorkloadConfig.build(ncpus=ncpus, scale=scale, seed=seed,
+                                      workload=workload)
         if warmup_txns is None:
             warmup_txns = max(100, 4 * config.num_servers)
         model = MemoryModel(config, seed=seed)
@@ -249,6 +253,7 @@ def stream_trace(
     warmup_txns: Optional[int] = None,
     seed: int = 2000,
     chunk_txns: Optional[int] = None,
+    workload=None,
 ):
     """Run the OLTP engine and *stream* its reference trace.
 
@@ -268,7 +273,8 @@ def stream_trace(
     from repro.obs import current_tracer
     from repro.trace.stream import DEFAULT_CHUNK_TXNS, StreamedTrace, TraceChunk
 
-    config = WorkloadConfig.build(ncpus=ncpus, scale=scale, seed=seed)
+    config = WorkloadConfig.build(ncpus=ncpus, scale=scale, seed=seed,
+                                  workload=workload)
     if warmup_txns is None:
         warmup_txns = max(100, 4 * config.num_servers)
     model = MemoryModel(config, seed=seed)

@@ -31,6 +31,7 @@ from repro.integrity.errors import TraceFormatError
 from repro.oltp.config import WorkloadConfig
 from repro.oltp.engine import EngineStats
 from repro.oltp.schema import TpcbScale
+from repro.scenario.workload import BASELINE_WORKLOAD, WorkloadSpec
 from repro.trace.generator import OltpTrace, TraceQuantum
 
 #: Format version written into every archive.
@@ -52,6 +53,23 @@ def _content_crc(cpus, offsets, refs, text_pages) -> int:
     return crc
 
 
+def _config_from_meta(meta: dict) -> WorkloadConfig:
+    """Rebuild the nested WorkloadConfig from archive metadata.
+
+    Pre-scenario archives carry no ``workload`` key; they were all
+    generated with the baseline TPC-B spec, so that is what a missing
+    key means.
+    """
+    config = dict(meta["config"])
+    workload = config.pop("workload", None)
+    return WorkloadConfig(
+        tpcb=TpcbScale(**meta["tpcb"]),
+        workload=(BASELINE_WORKLOAD if workload is None
+                  else WorkloadSpec.from_dict(workload)),
+        **config,
+    )
+
+
 def save_trace(trace: OltpTrace, path: Union[str, "object"]) -> None:
     """Write ``trace`` to ``path`` as a compressed npz archive."""
     cpus = np.fromiter((q.cpu for q in trace.quanta), dtype=np.int32,
@@ -67,6 +85,7 @@ def save_trace(trace: OltpTrace, path: Union[str, "object"]) -> None:
 
     config = asdict(trace.config)
     tpcb = config.pop("tpcb")
+    config["workload"] = trace.config.workload.to_dict()
     meta = {
         "format": FORMAT_VERSION,
         "crc32": _content_crc(cpus, offsets, refs, text_pages),
@@ -176,7 +195,7 @@ def _load_trace(path) -> OltpTrace:
                      array("q", refs[offsets[i]:offsets[i + 1]].tolist()))
         for i in range(len(cpus))
     ]
-    config = WorkloadConfig(tpcb=TpcbScale(**meta["tpcb"]), **meta["config"])
+    config = _config_from_meta(meta)
     return OltpTrace(
         ncpus=meta["ncpus"],
         scale=meta["scale"],
@@ -263,6 +282,7 @@ class ChunkedTraceWriter:
         self._write_member("text_pages", text_pages)
         config = asdict(stream.config)
         tpcb = config.pop("tpcb")
+        config["workload"] = stream.config.workload.to_dict()
         meta = {
             "format": STREAM_FORMAT_VERSION,
             "ncpus": stream.ncpus,
@@ -349,8 +369,7 @@ def open_stream_archive(path: str):
                 f"chunked trace archive {path!r} has an inconsistent "
                 "chunk table; the file is truncated or corrupt"
             )
-        config = WorkloadConfig(tpcb=TpcbScale(**meta["tpcb"]),
-                                **meta["config"])
+        config = _config_from_meta(meta)
         engine_stats = EngineStats(**meta["engine_stats"])
     except TraceFormatError:
         data.close()

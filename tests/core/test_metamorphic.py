@@ -15,6 +15,7 @@ from repro.core.machine import MachineConfig
 from repro.core.system import simulate
 from repro.cpu.events import encode
 from repro.params import MB, IntegrationLevel, LatencyTable
+from repro.scenario.topology import TopologySpec
 from repro.trace.synthetic import make_trace
 
 PAGE = 256
@@ -62,7 +63,10 @@ def test_raising_any_latency_never_speeds_up(seed):
     machine = base_machine()
     base = simulate(machine, trace_a)
     slower_table = LatencyTable(30, 120, 200, 320, remote_upgrade=200)
-    slower = simulate(machine.with_(latency_override=slower_table), trace_b)
+    slower = simulate(
+        machine.with_(topology=TopologySpec.uniform(base_table=slower_table)),
+        trace_b,
+    )
     assert slower.breakdown.total >= base.breakdown.total
     # Miss counts are latency-independent.
     assert slower.misses.as_dict() == base.misses.as_dict()

@@ -53,14 +53,25 @@ class TestMachineConfigRoundTrip:
         wire = json.loads(json.dumps(machine.to_dict()))
         assert MachineConfig.from_dict(wire) == machine
 
-    def test_latency_override_round_trips(self):
+    def test_topology_base_table_round_trips(self):
+        from repro.scenario.topology import TopologySpec
+
         base = MachineConfig.fully_integrated(8, scale=SCALE)
-        bumped = base.with_(
-            latency_override=replace(base.latencies, remote_dirty=997)
-        )
+        bumped = base.with_(topology=TopologySpec.uniform(
+            base_table=replace(base.latencies, remote_dirty=997)
+        ))
         clone = MachineConfig.from_dict(bumped.to_dict())
         assert clone == bumped
         assert clone.latencies.remote_dirty == 997
+
+    def test_islands_topology_round_trips(self):
+        from repro.scenario.topology import TopologySpec
+
+        machine = MachineConfig.fully_integrated(8, scale=SCALE).with_(
+            topology=TopologySpec.islands(group_size=2, island_extra=80)
+        )
+        wire = json.loads(json.dumps(machine.to_dict()))
+        assert MachineConfig.from_dict(wire) == machine
 
     def test_tlb_entries_round_trip(self):
         machine = MachineConfig.fully_integrated(8, scale=SCALE).with_(

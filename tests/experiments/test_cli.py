@@ -167,3 +167,87 @@ class TestStreamVerb:
         assert f"quanta:        {len(trace.quanta)}" in out
         refs = sum(len(q.refs) for q in trace.quanta)
         assert f"refs:          {refs}" in out
+
+
+class TestScenarioVerb:
+    def test_bare_scenario_lists(self, capsys):
+        assert main(["scenario"]) == 0
+        out = capsys.readouterr().out
+        assert "registered scenarios" in out
+        assert "zipf-uni" in out
+
+    def test_list_names_every_registered_scenario(self, capsys):
+        from repro.scenario import scenario_names
+
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        names = scenario_names()
+        assert len(names) >= 5
+        for name in names:
+            assert name in out
+
+    def test_describe_shows_the_ladder(self, capsys):
+        assert main(["scenario", "describe", "islands-mp8"]) == 0
+        out = capsys.readouterr().out
+        assert "hardware islands" in out
+        assert "ladder" in out
+
+    def test_describe_needs_a_name(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["scenario", "describe"])
+        assert exit_info.value.code == 2
+        assert "scenario list" in capsys.readouterr().err
+
+    def test_unknown_action_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["scenario", "frobnicate"])
+        assert exit_info.value.code == 2
+        assert "frobnicate" in capsys.readouterr().err
+
+    def test_list_rejects_a_name(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["scenario", "list", "zipf-uni"])
+
+    def test_name_rejected_outside_scenario_verb(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["profile", "fig5", "zipf-uni"])
+        assert exit_info.value.code == 2
+        assert "scenario" in capsys.readouterr().err
+
+    def test_run_unknown_scenario_fails_fast_listing_names(self, capsys):
+        """Satellite acceptance: a typo'd scenario name exits non-zero
+        with a structured error listing every registered name — no
+        traceback, no partial run."""
+        from repro.scenario import scenario_names
+
+        code = main(["scenario", "run", "no-such-scenario"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "repro-oltp: error:" in err
+        assert "no-such-scenario" in err
+        for name in scenario_names():
+            assert name in err
+        assert "Traceback" not in err
+
+    def test_campaign_rejects_unknown_scenario_target(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["campaign", "no-such-scenario", "--quick"])
+        assert exit_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "no-such-scenario" in err
+        assert "zipf-uni" in err  # the menu includes scenarios
+
+    def test_run_executes_a_scenario_end_to_end(self, capsys):
+        code = main(["scenario", "run", "read-heavy-uni",
+                     "--scale", "256", "--uni-txns", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario:read-heavy-uni" in out
+        assert "workload: 70%balance+30%scan" in out
+
+    def test_run_writes_csv(self, capsys, tmp_path):
+        code = main(["scenario", "run", "tpcb-uni",
+                     "--scale", "256", "--uni-txns", "10",
+                     "--csv", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "tpcb-uni.csv").exists()

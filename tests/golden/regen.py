@@ -34,15 +34,31 @@ from pathlib import Path
 from repro.core.machine import MachineConfig
 from repro.core.system import simulate
 from repro.params import MB
+from repro.scenario import get_scenario
 from repro.trace.generator import OltpTrace, build_trace
 from repro.trace.synthetic import make_trace
 
 HERE = Path(__file__).resolve().parent
 
+
+def _scenario_workload(name: str):
+    """The registered scenario's workload, so the golden stays pinned
+    to the same spec users run (a registry edit without regeneration
+    is flagged by the fixture-sync test)."""
+    return get_scenario(name).workload
+
+
+def _scenario_topology(name: str):
+    return get_scenario(name).topology
+
+
 #: The frozen workloads: tiny OLTP runs — one uniprocessor (replayed
 #: by the vectorized engine under auto-selection), one 2-CPU
-#: multiprocessor (staged pipeline, full coherence) and one 8-node
-#: RAC configuration (the pipeline's stream mode).
+#: multiprocessor (staged pipeline, full coherence), one 8-node
+#: RAC configuration (the pipeline's stream mode), plus two scenario
+#: points: the Zipf-skewed uniprocessor workload and the
+#: hardware-islands 8-node topology (stream mode via non-flat
+#: routing).
 CASES = {
     "uni": {
         "machine": lambda: MachineConfig.base(1, scale=128),
@@ -60,6 +76,20 @@ CASES = {
         ),
         "trace": lambda: build_trace(ncpus=8, scale=128, txns=24,
                                      warmup_txns=30, seed=47),
+    },
+    "zipf_uni": {
+        "machine": lambda: MachineConfig.base(1, scale=128),
+        "trace": lambda: build_trace(
+            ncpus=1, scale=128, txns=12, warmup_txns=30, seed=53,
+            workload=_scenario_workload("zipf-uni"),
+        ),
+    },
+    "islands_mp8": {
+        "machine": lambda: MachineConfig.fully_integrated(
+            8, scale=128
+        ).with_(topology=_scenario_topology("islands-mp8")),
+        "trace": lambda: build_trace(ncpus=8, scale=128, txns=24,
+                                     warmup_txns=30, seed=59),
     },
 }
 

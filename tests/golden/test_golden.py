@@ -40,21 +40,24 @@ def test_golden_runresult_exact(name):
     assert got == expected, REGEN_HINT
 
 
-def test_golden_uni_identical_across_engines():
-    """The frozen uniprocessor expectation holds for all
-    uniprocessor-capable engines, not just the auto-selected one."""
-    machine, trace, expected = load_case("uni")
+@pytest.mark.parametrize("name", ["uni", "zipf_uni"])
+def test_golden_uni_identical_across_engines(name):
+    """The frozen uniprocessor expectations hold for all
+    uniprocessor-capable engines, not just the auto-selected one
+    (zipf_uni pins the Zipf-skewed scenario workload)."""
+    machine, trace, expected = load_case(name)
     for engine in ("fast", "general", "vectorized"):
         got = System(machine, engine=engine).run(trace).to_dict()
         assert got == expected, f"engine={engine}: {REGEN_HINT}"
 
 
-@pytest.mark.parametrize("name", ["mp", "mp8rac"])
+@pytest.mark.parametrize("name", ["mp", "mp8rac", "islands_mp8"])
 def test_golden_mp_identical_across_engines(name):
     """The frozen multiprocessor expectations hold bit-for-bit for
     every MP-capable engine — in particular the staged
     ``vectorized-mp`` pipeline must reproduce the scalar engines'
-    payloads exactly (the mp8rac case exercises its stream mode)."""
+    payloads exactly (the mp8rac case exercises its stream mode, and
+    islands_mp8 the non-flat topology routing)."""
     machine, trace, expected = load_case(name)
     for engine in ("fast", "general", "vectorized-mp"):
         got = System(machine, engine=engine).run(trace).to_dict()

@@ -56,17 +56,38 @@ class TestContentHash:
         assert clone == j
         assert clone.content_hash() == j.content_hash()
 
-    def test_latency_override_changes_hash(self):
+    def test_topology_base_table_changes_hash(self):
         from dataclasses import replace
 
+        from repro.scenario.topology import TopologySpec
+
         base = MachineConfig.fully_integrated(8, scale=SCALE)
-        bumped = base.with_(
-            latency_override=replace(base.latencies, l2_hit=99)
-        )
+        bumped = base.with_(topology=TopologySpec.uniform(
+            base_table=replace(base.latencies, l2_hit=99)
+        ))
         assert (
             job(machine=base).content_hash()
             != job(machine=bumped).content_hash()
         )
+
+    def test_topology_changes_hash(self):
+        from repro.scenario.topology import TopologySpec
+
+        base = MachineConfig.fully_integrated(8, scale=SCALE)
+        islands = base.with_(
+            topology=TopologySpec.islands(group_size=4, island_extra=100)
+        )
+        assert (
+            job(machine=base).content_hash()
+            != job(machine=islands).content_hash()
+        )
+
+    def test_workload_changes_hash(self):
+        from repro.scenario.workload import WorkloadSpec
+
+        skewed = TraceSpec(ncpus=1, scale=SCALE, txns=40, seed=11,
+                           workload=WorkloadSpec(name="zipf", skew=0.8))
+        assert job().content_hash() != job(spec=skewed).content_hash()
 
 
 class TestValidation:

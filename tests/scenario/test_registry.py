@@ -1,0 +1,163 @@
+"""Scenario registry: lookups, fail-fast errors, ladders, hashing,
+and service-spec expansion."""
+
+import json
+
+import pytest
+
+from repro.integrity.errors import ConfigError
+from repro.scenario import (
+    Scenario,
+    all_scenarios,
+    describe_scenario,
+    get_scenario,
+    scenario_names,
+)
+from repro.scenario.registry import jobs_for_scenario_spec
+from repro.scenario.topology import TopologySpec
+from repro.scenario.workload import WorkloadSpec
+
+
+class TestRegistry:
+    def test_at_least_five_scenarios_registered(self):
+        assert len(scenario_names()) >= 5
+
+    def test_names_cover_workload_and_topology_axes(self):
+        names = scenario_names()
+        assert "tpcb-uni" in names          # paper baseline
+        assert "zipf-uni" in names          # skew axis
+        assert "islands-mp8" in names       # topology axis
+        scenarios = {s.name: s for s in all_scenarios()}
+        assert any(len(s.workload.mix) > 1 for s in scenarios.values())
+        assert any(not s.topology.is_flat for s in scenarios.values())
+        assert any(s.workload.burst > 1 for s in scenarios.values())
+
+    def test_get_scenario_round_trips_names(self):
+        for name in scenario_names():
+            assert get_scenario(name).name == name
+
+    def test_unknown_name_fails_fast_listing_the_menu(self):
+        with pytest.raises(ConfigError) as exc:
+            get_scenario("no-such-scenario")
+        message = str(exc.value)
+        assert "no-such-scenario" in message
+        for name in scenario_names():
+            assert name in message
+
+    def test_baselines_are_bit_identical_specs(self):
+        for name in ("tpcb-uni", "tpcb-mp8"):
+            scenario = get_scenario(name)
+            assert scenario.workload.is_baseline
+            assert scenario.topology.is_flat
+
+    def test_describe_mentions_the_ladder(self):
+        text = describe_scenario("chiplet-mp8")
+        assert "chiplet-mp8" in text
+        assert "ladder" in text
+        assert text.count("- ") >= 4  # Base, L2+MC, All, All+RAC
+
+
+class TestScenarioValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError):
+            Scenario("", "nameless")
+
+    def test_wrong_spec_types_rejected(self):
+        with pytest.raises(ConfigError):
+            Scenario("s", "d", workload={"name": "tpcb"})
+        with pytest.raises(ConfigError):
+            Scenario("s", "d", topology="uniform")
+
+    def test_rac_needs_multiprocessor(self):
+        with pytest.raises(ConfigError):
+            Scenario("s", "d", ncpus=1, rac_bytes=1024)
+
+    def test_topology_must_fit_machine(self):
+        with pytest.raises(ConfigError):
+            Scenario("s", "d", ncpus=8,
+                     topology=TopologySpec.islands(group_size=3,
+                                                   island_extra=50))
+
+    @pytest.mark.parametrize("name", ["tpcb-uni", "zipf-uni", "islands-mp8",
+                                      "tpcc-mix-mp8", "chiplet-mp8"])
+    def test_dict_round_trip_exact(self, name):
+        scenario = get_scenario(name)
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+        wire = json.loads(json.dumps(scenario.to_dict()))
+        assert Scenario.from_dict(wire) == scenario
+
+    def test_from_dict_malformed_maps_to_config_error(self):
+        with pytest.raises(ConfigError):
+            Scenario.from_dict({"description": "missing name"})
+        with pytest.raises(ConfigError):
+            Scenario.from_dict({"name": "s", "ncpus": "many"})
+
+
+class TestLadder:
+    def test_ladder_labels_and_topology(self):
+        scenario = get_scenario("islands-mp8")
+        machines = scenario.machines(scale=64)
+        assert len(machines) == 3
+        for _, machine in machines:
+            assert machine.topology == scenario.topology
+            assert machine.ncpus == 8
+
+    def test_rac_scenario_gets_fourth_rung(self):
+        machines = get_scenario("chiplet-mp8").machines(scale=64)
+        assert len(machines) == 4
+        assert machines[-1][1].rac_size == 8 * 1024 * 1024
+
+    def test_jobs_are_content_addressed_and_stable(self):
+        """Hash stability contract: the same scenario resolves to the
+        same job hashes on every call (and, by construction of the
+        canonical payload, in every process)."""
+        a = get_scenario("zipf-uni").jobs(scale=64, txns=20)
+        b = get_scenario("zipf-uni").jobs(scale=64, txns=20)
+        assert [j.content_hash() for j in a] == [j.content_hash() for j in b]
+        assert len({j.content_hash() for j in a}) == len(a)
+
+    def test_workload_and_topology_reach_the_job_hash(self):
+        base = get_scenario("tpcb-mp8").jobs(scale=64, txns=20)
+        skew = get_scenario("bursty-mp8").jobs(scale=64, txns=20)
+        isles = get_scenario("islands-mp8").jobs(scale=64, txns=20)
+        base_hashes = {j.content_hash() for j in base}
+        assert base_hashes.isdisjoint(j.content_hash() for j in skew)
+        assert base_hashes.isdisjoint(j.content_hash() for j in isles)
+
+
+class TestServiceSpecExpansion:
+    def test_expands_to_the_ladder(self):
+        jobs = jobs_for_scenario_spec({"scenario": "tpcb-uni", "txns": 10})
+        assert len(jobs) == 3
+        assert all(j.spec.txns == 10 for j in jobs)
+
+    def test_defaults_mirror_quick_settings(self):
+        jobs = jobs_for_scenario_spec({"scenario": "tpcb-uni"})
+        assert jobs[0].spec.scale == 64
+        assert jobs[0].spec.txns == 120
+
+    def test_unknown_scenario_is_config_error(self):
+        with pytest.raises(ConfigError) as exc:
+            jobs_for_scenario_spec({"scenario": "nope"})
+        assert "tpcb-uni" in str(exc.value)
+
+    def test_missing_or_nonstring_name_rejected(self):
+        with pytest.raises(ConfigError):
+            jobs_for_scenario_spec({})
+        with pytest.raises(ConfigError):
+            jobs_for_scenario_spec({"scenario": 3})
+
+    def test_malformed_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            jobs_for_scenario_spec({"scenario": "tpcb-uni", "txns": "lots"})
+        with pytest.raises(ConfigError):
+            jobs_for_scenario_spec({"scenario": "tpcb-uni", "check": "extreme"})
+
+
+def test_lazy_package_exports():
+    """The package exposes registry names lazily (import acyclicity)."""
+    import repro.scenario as pkg
+
+    assert pkg.get_scenario is get_scenario
+    with pytest.raises(AttributeError):
+        pkg.does_not_exist

@@ -1,0 +1,114 @@
+"""TopologySpec: validation, hop arithmetic, flatness, round trips."""
+
+import json
+
+import pytest
+
+from repro.integrity.errors import ConfigError
+from repro.params import LatencyTable
+from repro.scenario.topology import UNIFORM, TopologySpec
+
+
+class TestValidation:
+    def test_default_is_uniform(self):
+        assert UNIFORM.kind == "uniform"
+        assert UNIFORM.is_flat
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            TopologySpec(kind="mesh")
+
+    def test_islands_need_positive_group(self):
+        with pytest.raises(ConfigError):
+            TopologySpec(kind="islands", group_size=0)
+
+    def test_negative_island_extra_rejected(self):
+        with pytest.raises(ConfigError):
+            TopologySpec(kind="islands", group_size=2, island_extra=-1)
+
+    def test_chiplet_needs_distance_table(self):
+        with pytest.raises(ConfigError):
+            TopologySpec(kind="chiplet")
+
+    def test_chiplet_distance_zero_must_be_free(self):
+        with pytest.raises(ConfigError):
+            TopologySpec(kind="chiplet", distance_extra=(5, 10))
+
+    def test_chiplet_negative_extra_rejected(self):
+        with pytest.raises(ConfigError):
+            TopologySpec(kind="chiplet", distance_extra=(0, -10))
+
+    def test_islands_must_tile_the_machine(self):
+        spec = TopologySpec.islands(group_size=3, island_extra=50)
+        with pytest.raises(ConfigError):
+            spec.validate_for(8)
+        spec.validate_for(6)  # tiles fine
+
+    def test_uniform_fits_any_node_count(self):
+        UNIFORM.validate_for(1)
+        UNIFORM.validate_for(8)
+
+
+class TestHopExtra:
+    def test_uniform_never_charges(self):
+        for a in range(8):
+            for b in range(8):
+                assert UNIFORM.hop_extra(a, b) == 0
+
+    def test_islands_charge_across_groups_only(self):
+        spec = TopologySpec.islands(group_size=4, island_extra=120)
+        assert spec.hop_extra(0, 3) == 0       # same island
+        assert spec.hop_extra(0, 4) == 120     # across
+        assert spec.hop_extra(7, 1) == 120
+        assert spec.hop_extra(5, 5) == 0       # self
+
+    def test_chiplet_distance_clamps_to_table(self):
+        spec = TopologySpec.chiplet(distance_extra=(0, 60, 140))
+        assert spec.hop_extra(2, 2) == 0
+        assert spec.hop_extra(2, 3) == 60
+        assert spec.hop_extra(0, 2) == 140
+        assert spec.hop_extra(0, 7) == 140     # beyond table: last entry
+
+    def test_hop_extra_is_symmetric(self):
+        for spec in (TopologySpec.islands(group_size=2, island_extra=75),
+                     TopologySpec.chiplet(distance_extra=(0, 30, 80))):
+            for a in range(8):
+                for b in range(8):
+                    assert spec.hop_extra(a, b) == spec.hop_extra(b, a)
+
+
+class TestFlatness:
+    def test_islands_with_zero_extra_is_flat(self):
+        assert TopologySpec.islands(group_size=4, island_extra=0).is_flat
+        assert not TopologySpec.islands(group_size=4, island_extra=1).is_flat
+
+    def test_chiplet_all_zero_is_flat(self):
+        assert TopologySpec.chiplet(distance_extra=(0, 0)).is_flat
+        assert not TopologySpec.chiplet(distance_extra=(0, 10)).is_flat
+
+    def test_base_table_does_not_affect_flatness(self):
+        table = LatencyTable(30, 120, 200, 320, remote_upgrade=200)
+        assert TopologySpec.uniform(base_table=table).is_flat
+
+
+class TestRoundTrip:
+    SPECS = [
+        UNIFORM,
+        TopologySpec.uniform(
+            base_table=LatencyTable(25, 100, 180, 300, remote_upgrade=180)
+        ),
+        TopologySpec.islands(group_size=4, island_extra=120),
+        TopologySpec.chiplet(distance_extra=(0, 60, 140)),
+    ]
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.summary())
+    def test_dict_round_trip_exact(self, spec):
+        assert TopologySpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.summary())
+    def test_json_round_trip_exact(self, spec):
+        wire = json.loads(json.dumps(spec.to_dict()))
+        assert TopologySpec.from_dict(wire) == spec
+
+    def test_from_dict_tolerates_missing_keys(self):
+        assert TopologySpec.from_dict({}) == UNIFORM

@@ -1,0 +1,218 @@
+"""WorkloadSpec and ZipfSampler: validation, draw semantics, and the
+property suite (mix normalization, seed determinism, skew accuracy,
+exact serialization round trips)."""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.integrity.errors import ConfigError
+from repro.scenario.workload import (
+    BASELINE_WORKLOAD,
+    TXN_KINDS,
+    WorkloadSpec,
+    ZipfSampler,
+)
+
+
+class TestValidation:
+    def test_default_is_baseline(self):
+        assert BASELINE_WORKLOAD.is_baseline
+        assert BASELINE_WORKLOAD.tag == ""
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(name="  ")
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(mix=())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(mix=(("tpcb", 0.5), ("join", 0.5)))
+
+    def test_repeated_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(mix=(("tpcb", 0.5), ("tpcb", 0.5)))
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(mix=(("tpcb", 0.6), ("balance", 0.6)))
+        with pytest.raises(ConfigError):
+            WorkloadSpec(mix=(("tpcb", 0.5), ("balance", 0.4)))
+
+    def test_nonpositive_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(mix=(("tpcb", 1.0), ("balance", 0.0)))
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(skew=-0.1)
+
+    def test_local_account_prob_bounds(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(local_account_prob=0.0)
+        with pytest.raises(ConfigError):
+            WorkloadSpec(local_account_prob=1.5)
+
+    def test_burst_floor(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(burst=0)
+
+    def test_wire_lists_normalize_to_tuples(self):
+        spec = WorkloadSpec(mix=[["tpcb", 0.5], ["scan", 0.5]])
+        assert spec.mix == (("tpcb", 0.5), ("scan", 0.5))
+        hash(spec)  # stays hashable
+
+
+class TestDrawSemantics:
+    def test_single_kind_mix_consumes_no_draw(self):
+        """The baseline draw-sequence contract: a one-kind mix must not
+        advance the rng, so baseline traces stay bit-identical."""
+        rng_a, rng_b = random.Random(11), random.Random(11)
+        assert BASELINE_WORKLOAD.draw_kind(rng_a) == "tpcb"
+        assert rng_a.random() == rng_b.random()
+
+    def test_multi_kind_mix_draws_only_listed_kinds(self):
+        spec = WorkloadSpec(name="mix", mix=(("balance", 0.7), ("scan", 0.3)))
+        rng = random.Random(3)
+        kinds = {spec.draw_kind(rng) for _ in range(200)}
+        assert kinds == {"balance", "scan"}
+
+    def test_mix_frequencies_track_fractions(self):
+        spec = WorkloadSpec(
+            name="mix", mix=(("tpcb", 0.5), ("balance", 0.38), ("scan", 0.12))
+        )
+        rng = random.Random(17)
+        n = 20_000
+        counts = {k: 0 for k in TXN_KINDS}
+        for _ in range(n):
+            counts[spec.draw_kind(rng)] += 1
+        for kind, frac in spec.mix:
+            assert abs(counts[kind] / n - frac) < 0.02
+
+    def test_fraction_lookup(self):
+        spec = WorkloadSpec(name="mix", mix=(("balance", 0.7), ("scan", 0.3)))
+        assert spec.fraction("balance") == 0.7
+        assert spec.fraction("tpcb") == 0.0
+
+
+class TestZipfSampler:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigError):
+            ZipfSampler(0, 0.5)
+        with pytest.raises(ConfigError):
+            ZipfSampler(8, -0.5)
+
+    def test_theta_zero_is_uniform(self):
+        sampler = ZipfSampler(64, 0.0)
+        rng = random.Random(5)
+        counts = [0] * 64
+        for _ in range(32_000):
+            counts[sampler.sample(rng)] += 1
+        assert min(counts) > 0
+        assert max(counts) / min(counts) < 2.0
+
+    def test_seed_determinism(self):
+        sampler = ZipfSampler(128, 0.8)
+        seq_a = [sampler.sample(random.Random(99)) for _ in range(1)]
+        rng_a, rng_b = random.Random(42), random.Random(42)
+        assert [sampler.sample(rng_a) for _ in range(500)] == [
+            sampler.sample(rng_b) for _ in range(500)
+        ]
+        assert seq_a == [sampler.sample(random.Random(99))]
+
+    def test_one_uniform_draw_per_sample(self):
+        """The generator's draw-sequence contract: exactly one
+        ``random()`` call per sample, whatever theta."""
+        for theta in (0.0, 0.8):
+            sampler = ZipfSampler(32, theta)
+            rng_a, rng_b = random.Random(7), random.Random(7)
+            sampler.sample(rng_a)
+            rng_b.random()
+            assert rng_a.random() == rng_b.random()
+
+    @pytest.mark.parametrize("theta", [0.5, 0.8, 1.2])
+    def test_empirical_skew_matches_expected_fraction(self, theta):
+        """Hot-rank mass lands within tolerance of the analytic
+        Zipf(theta) fraction (satellite acceptance: skew matches the
+        configured theta)."""
+        n, draws = 64, 20_000
+        sampler = ZipfSampler(n, theta)
+        rng = random.Random(1234)
+        counts = [0] * n
+        for _ in range(draws):
+            counts[sampler.sample(rng)] += 1
+        for rank in range(4):
+            expected = sampler.expected_fraction(rank)
+            assert abs(counts[rank] / draws - expected) < 0.02
+        # Mass is monotone in rank for the hot head.
+        assert counts[0] > counts[8] > counts[32]
+
+
+# -- Hypothesis property suite ----------------------------------------------
+
+
+@st.composite
+def workload_specs(draw):
+    """Arbitrary *valid* WorkloadSpecs: integer-weight mixes normalized
+    to fractions that sum to 1 within tolerance."""
+    kinds = draw(st.permutations(list(TXN_KINDS)))
+    kinds = kinds[: draw(st.integers(1, len(TXN_KINDS)))]
+    weights = [draw(st.integers(1, 100)) for _ in kinds]
+    total = sum(weights)
+    mix = tuple((k, w / total) for k, w in zip(kinds, weights))
+    return WorkloadSpec(
+        name=draw(st.sampled_from(["wl", "mix-a", "skewed"])),
+        mix=mix,
+        skew=draw(st.sampled_from([0.0, 0.2, 0.5, 0.8, 1.2])),
+        local_account_prob=draw(st.sampled_from([0.5, 0.85, 1.0])),
+        burst=draw(st.integers(1, 8)),
+    )
+
+
+@given(workload_specs())
+@settings(max_examples=60, deadline=None)
+def test_mix_always_sums_to_one(spec):
+    assert abs(sum(frac for _, frac in spec.mix) - 1.0) <= 1e-9
+
+
+@given(workload_specs())
+@settings(max_examples=60, deadline=None)
+def test_dict_round_trip_exact(spec):
+    """to_dict/from_dict is an *exact* inverse (no float drift), even
+    through a JSON wire hop — the job-hash stability contract."""
+    assert WorkloadSpec.from_dict(spec.to_dict()) == spec
+    wire = json.loads(json.dumps(spec.to_dict()))
+    assert WorkloadSpec.from_dict(wire) == spec
+
+
+@given(workload_specs())
+@settings(max_examples=60, deadline=None)
+def test_tag_is_stable_and_key_safe(spec):
+    assert spec.tag == WorkloadSpec.from_dict(spec.to_dict()).tag
+    assert all(c.isalnum() or c == "-" for c in spec.tag)
+
+
+@given(workload_specs(), st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_draw_kind_is_seed_deterministic(spec, seed):
+    rng_a, rng_b = random.Random(seed), random.Random(seed)
+    assert [spec.draw_kind(rng_a) for _ in range(50)] == [
+        spec.draw_kind(rng_b) for _ in range(50)
+    ]
+
+
+@given(st.integers(1, 256), st.sampled_from([0.0, 0.4, 0.9, 1.5]),
+       st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_zipf_sampler_in_range_and_deterministic(n, theta, seed):
+    sampler = ZipfSampler(n, theta)
+    rng_a, rng_b = random.Random(seed), random.Random(seed)
+    seq = [sampler.sample(rng_a) for _ in range(64)]
+    assert all(0 <= rank < n for rank in seq)
+    assert seq == [sampler.sample(rng_b) for _ in range(64)]

@@ -147,6 +147,73 @@ class TestErrorTaxonomy:
         assert payload["error"]["type"] == "JobFailed"
 
 
+class TestScenarioSubmission:
+    """Server-side ``{"scenario": name}`` expansion: a submission names
+    a registered scenario and the service expands it to the ladder's
+    content-addressed jobs."""
+
+    def test_scenario_expands_to_the_ladder(self, live_server):
+        from repro.scenario import get_scenario
+
+        service, base = live_server
+        status, payload = post(
+            f"{base}/jobs", {"scenario": "tpcb-uni", "scale": 256,
+                             "txns": 10})
+        assert status == 200
+        assert payload["count"] == 3
+        # The server-side expansion hashes exactly as a client-side one
+        # would: job identity is process-independent.
+        expected = get_scenario("tpcb-uni").jobs(scale=256, txns=10)
+        assert [j["id"] for j in payload["jobs"]] == [
+            j.content_hash() for j in expected]
+        service.wait(expected[0].content_hash(), timeout=60)
+        status, result = get(
+            f"{base}/jobs/{expected[0].content_hash()}/result")
+        assert status == 200
+        assert result["result"]["breakdown"]["busy"] > 0
+
+    def test_resubmission_hits_the_same_ids(self, live_server):
+        _, base = live_server
+        spec = {"scenario": "read-heavy-uni", "scale": 256, "txns": 8}
+        _, first = post(f"{base}/jobs", spec)
+        _, second = post(f"{base}/jobs", spec)
+        assert [j["id"] for j in first["jobs"]] == [
+            j["id"] for j in second["jobs"]]
+
+    def test_batch_mixes_scenarios_and_plain_jobs(self, live_server):
+        _, base = live_server
+        status, payload = post(f"{base}/jobs", {"jobs": [
+            tiny_job(7).to_dict(),
+            {"scenario": "tpcb-uni", "scale": 256, "txns": 10},
+        ]})
+        assert status == 200
+        assert payload["count"] == 4
+        assert payload["jobs"][0]["id"] == tiny_job(7).content_hash()
+
+    def test_unknown_scenario_is_400_listing_the_menu(self, live_server):
+        _, base = live_server
+        status, payload = post(f"{base}/jobs", {"scenario": "no-such"})
+        assert status == 400
+        assert payload["error"]["type"] == "ConfigError"
+        assert "tpcb-uni" in payload["error"]["message"]
+
+    def test_bad_scenario_in_batch_accepts_nothing(self, live_server):
+        service, base = live_server
+        status, _ = post(f"{base}/jobs", {"jobs": [
+            tiny_job(8).to_dict(),
+            {"scenario": "no-such"},
+        ]})
+        assert status == 400
+        assert service.get(tiny_job(8).content_hash()) is None
+
+    def test_malformed_scenario_sizes_are_400(self, live_server):
+        _, base = live_server
+        status, payload = post(
+            f"{base}/jobs", {"scenario": "tpcb-uni", "txns": "lots"})
+        assert status == 400
+        assert payload["error"]["type"] == "ConfigError"
+
+
 class TestTransport:
     def test_keep_alive_serves_many_requests_per_connection(
             self, live_server):
